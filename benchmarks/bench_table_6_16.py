@@ -1,0 +1,23 @@
+"""Table 6.16 — PIV optimal configurations, varying mask size (V sets).
+
+Paper shape: growing masks shift the optimum toward more threads /
+different register blocking, and per-problem rates scale with the mask
+area.
+"""
+
+import pytest
+
+from benchmarks.bench_table_6_15 import build_optima_table
+from repro.apps.piv.problems import MASK_SET, SCALE_NOTE
+from repro.reporting import emit
+
+
+def _build():
+    return build_optima_table(MASK_SET, "6.16",
+                              SCALE_NOTE + "; varying mask size")
+
+
+def test_table_6_16(benchmark):
+    text, optima = benchmark.pedantic(_build, rounds=1, iterations=1)
+    emit("table_6_16", text)
+    assert len(optima) > 1

@@ -1,0 +1,18 @@
+"""Table 6.17 — PIV optimal configurations, varying search offsets."""
+
+import pytest
+
+from benchmarks.bench_table_6_15 import build_optima_table
+from repro.apps.piv.problems import SEARCH_SET, SCALE_NOTE
+from repro.reporting import emit
+
+
+def _build():
+    return build_optima_table(SEARCH_SET, "6.17",
+                              SCALE_NOTE + "; varying search offsets")
+
+
+def test_table_6_17(benchmark):
+    text, optima = benchmark.pedantic(_build, rounds=1, iterations=1)
+    emit("table_6_17", text)
+    assert len(optima) > 1

@@ -1,0 +1,23 @@
+"""Table 6.18 — PIV optimal configurations, varying window overlap.
+
+Overlap multiplies the number of interrogation windows (blocks) without
+changing per-window work: more blocks improve machine utilisation, so
+rates improve while the per-window optimum stays put.
+"""
+
+import pytest
+
+from benchmarks.bench_table_6_15 import build_optima_table
+from repro.apps.piv.problems import OVERLAP_SET, SCALE_NOTE
+from repro.reporting import emit
+
+
+def _build():
+    return build_optima_table(OVERLAP_SET, "6.18",
+                              SCALE_NOTE + "; varying window overlap")
+
+
+def test_table_6_18(benchmark):
+    text, optima = benchmark.pedantic(_build, rounds=1, iterations=1)
+    emit("table_6_18", text)
+    assert len(optima) >= 1

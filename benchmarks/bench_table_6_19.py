@@ -1,0 +1,58 @@
+"""Table 6.19 — backprojection kernels: RE vs SK on both GPUs.
+
+Per (problem, device): the specialized kernel's best (block, zb) sweep
+point versus the run-time-evaluated compilation of the same source at
+the same configuration.  Paper shape: SK wins everywhere and uses fewer
+registers (the z-accumulator array scalarizes instead of spilling, and
+the parameter plumbing disappears).
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_CACHE, DEVICES, bp_projs, ms
+from repro.apps.backprojection import Backprojector, BPConfig
+from repro.apps.backprojection.problems import PROBLEMS, SCALE_NOTE
+from repro.reporting import emit, format_table, speedup
+from repro.tuning import best_record, bp_sweep
+
+SWEEP_BLOCKS = [(16, 8), (16, 16)]
+SWEEP_ZB = [2, 4]
+
+
+def _build():
+    rows = []
+    for problem in PROBLEMS:
+        projections = bp_projs(problem)
+        for device in DEVICES:
+            records = bp_sweep(problem, projections, SWEEP_BLOCKS,
+                               SWEEP_ZB, device, cache=BENCH_CACHE)
+            best = best_record(records)
+            bx, by = best.config["block"]
+            zb = best.config["zb"]
+            re_cfg = BPConfig(block_x=bx, block_y=by, zb=zb,
+                              specialize=False, functional=False,
+                              sample_blocks=2)
+            bp_re = Backprojector(problem, re_cfg, device=device,
+                                  cache=BENCH_CACHE)
+            r_re = bp_re.run(projections)
+            rows.append([
+                problem.name, device.name, f"{bx}x{by}", zb,
+                f"{ms(r_re.kernel_seconds):.3f}",
+                f"{ms(best.seconds):.3f}",
+                f"{speedup(r_re.kernel_seconds, best.seconds):.2f}x",
+                r_re.reg_count, best.reg_count])
+    return format_table(
+        ["set", "device", "block*", "zb*", "RE (ms)", "SK (ms)",
+         "SK speedup", "RE regs", "SK regs"],
+        rows,
+        title="Table 6.19: backprojection — RE vs SK kernels",
+        note=SCALE_NOTE)
+
+
+def test_table_6_19(benchmark):
+    text = benchmark.pedantic(_build, rounds=1, iterations=1)
+    emit("table_6_19", text)
+    for line in text.splitlines()[3:-1]:
+        cells = [c.strip() for c in line.split("|")]
+        assert float(cells[5]) <= float(cells[4]), line
+        assert int(cells[8]) <= int(cells[7]), line

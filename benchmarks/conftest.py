@@ -1,0 +1,7 @@
+"""Benchmark-session configuration."""
+
+import sys
+from pathlib import Path
+
+# Allow `from benchmarks.common import ...` regardless of invocation dir.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

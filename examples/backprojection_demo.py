@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Cone-beam backprojection demo — the §5.3 application end to end.
+
+Generates a Shepp-Logan-style phantom, forward-projects it through the
+Figure 5.13 circular cone-beam geometry, reconstructs on the simulated
+GPU with the specialized backprojection kernel, validates against the
+NumPy reference, and prints an ASCII mid-slice of the reconstruction.
+
+Run:  python examples/backprojection_demo.py
+"""
+
+import numpy as np
+
+from repro.apps.backprojection import (Backprojector, BPConfig,
+                                       BPProblem, backproject_reference)
+from repro.data.phantom import (ConeBeamGeometry, forward_project,
+                                shepp_logan_phantom)
+from repro.gpupf import KernelCache
+from repro.gpusim import TESLA_C2070
+
+SHADES = " .:-=+*#%@"
+
+
+def ascii_slice(image: np.ndarray, width: int = 48) -> str:
+    img = image - image.min()
+    if img.max() > 0:
+        img = img / img.max()
+    step = max(1, image.shape[1] // width)
+    rows = []
+    for r in img[:: max(1, step)]:
+        rows.append("".join(SHADES[int(v * (len(SHADES) - 1))]
+                            for v in r[::step]))
+    return "\n".join(rows)
+
+
+def main():
+    n = 24
+    problem = BPProblem("demo", nx=n, ny=n, nz=n, n_proj=24, det_u=36,
+                        det_v=36)
+    geom = problem.geometry()
+    print(f"phantom {n}^3, {problem.n_proj} projections onto a "
+          f"{problem.det_u}x{problem.det_v} detector")
+
+    phantom = shepp_logan_phantom(n)
+    print("\nforward projecting (host-side, Figure 5.13 geometry)...")
+    projections = forward_project(phantom, geom)
+
+    cache = KernelCache()
+    for specialize in (False, True):
+        cfg = BPConfig(block_x=8, block_y=8, zb=4,
+                       specialize=specialize)
+        bp = Backprojector(problem, cfg, device=TESLA_C2070,
+                           cache=cache)
+        result = bp.run(projections)
+        regime = "SK" if specialize else "RE"
+        print(f"  {regime}: {result.kernel_seconds * 1e6:7.1f} us, "
+              f"{result.reg_count} regs/thread, "
+              f"occupancy {result.occupancy:.2f}")
+        if specialize:
+            volume = result.volume
+
+    reference = backproject_reference(projections, geom, n, n, n)
+    err = np.abs(volume - reference).max() / max(np.abs(reference).max(),
+                                                 1e-9)
+    print(f"\nGPU vs NumPy reference: max relative deviation "
+          f"{err:.2e} (fp32)")
+
+    corr = np.corrcoef(phantom[n // 2].ravel(),
+                       volume[n // 2].ravel())[0, 1]
+    print(f"mid-slice correlation with phantom: {corr:.2f} "
+          "(unfiltered backprojection is blurry by design)")
+
+    print("\nphantom mid-slice:")
+    print(ascii_slice(phantom[n // 2]))
+    print("\nreconstruction mid-slice:")
+    print(ascii_slice(volume[n // 2]))
+
+
+if __name__ == "__main__":
+    main()

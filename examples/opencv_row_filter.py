@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""The OpenCV row-filter case study (§2.6 and §4.2, Appendices E/F).
+
+OpenCV's CUDA row filter precompiles ~800 kernel variants (every
+filter size 1-32 × addressing mode × type pair) because loop unrolling
+needs compile-time sizes.  With kernel specialization the same single
+source compiles on demand for exactly the (ksize, anchor) the caller
+asks for — no lookup tables, no binary bloat, no 32-tap ceiling.
+
+Run:  python examples/opencv_row_filter.py
+"""
+
+import numpy as np
+
+from repro.gpupf import KernelCache
+from repro.gpusim import GPU, TESLA_C2070
+from repro.kernelc import nvcc
+from repro.kernelc.templates import ctrt_block
+
+ROW_FILTER_SRC = ctrt_block({
+    "KSIZE": "ksize",
+    "ANCHOR": "anchor",
+}) + """
+#ifndef MAX_KERNEL_SIZE
+#define MAX_KERNEL_SIZE 32
+#endif
+
+__constant__ float c_kernel[MAX_KERNEL_SIZE];
+
+__global__ void linearRowFilter(const float* src, float* dst,
+                                int width, int height, int ksize,
+                                int anchor) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    if (x >= width || y >= height) return;
+    float sum = 0.0f;
+    for (int k = 0; k < KSIZE_VAL; k++) {
+        int xx = x + k - ANCHOR_VAL;
+        // Replicate-border addressing.
+        xx = max(0, min(xx, width - 1));
+        sum += src[y * width + xx] * c_kernel[k];
+    }
+    dst[y * width + x] = sum;
+}
+"""
+
+
+def reference(src, taps, anchor):
+    h, w = src.shape
+    out = np.zeros_like(src)
+    for k, c in enumerate(taps):
+        xx = np.clip(np.arange(w) + k - anchor, 0, w - 1)
+        out += src[:, xx] * np.float32(c)
+    return out
+
+
+def main():
+    h, w = 48, 64
+    rng = np.random.default_rng(0)
+    image = rng.random((h, w)).astype(np.float32)
+    gpu = GPU(TESLA_C2070)
+    cache = KernelCache()
+
+    print("specializing the row filter on demand — one source, any "
+          "(ksize, anchor):\n")
+    header = f"{'ksize':>5} {'anchor':>6} {'regime':>6} " \
+             f"{'us':>8} {'instrs':>6}  correct"
+    print(header)
+    for ksize in (3, 7, 15, 31, 63):  # 63 exceeds OpenCV's ceiling!
+        taps = rng.random(ksize).astype(np.float32)
+        taps /= taps.sum()
+        anchor = ksize // 2
+        for specialize in (False, True):
+            defines = {"MAX_KERNEL_SIZE": max(64, ksize)}
+            if specialize:
+                defines.update({"CT_KSIZE": 1, "KSIZE": ksize,
+                                "CT_ANCHOR": 1, "ANCHOR": anchor})
+            module = cache.compile(ROW_FILTER_SRC, defines=defines,
+                                   arch=gpu.spec.arch)
+            gpu.memcpy_to_symbol(module, "c_kernel", taps)
+            d_src = gpu.alloc_array(image)
+            d_dst = gpu.zeros(h * w, np.float32)
+            launch = gpu.launch(module.kernel("linearRowFilter"),
+                                grid=((w + 15) // 16, (h + 15) // 16),
+                                block=(16, 16),
+                                args=[d_src, d_dst, w, h, ksize,
+                                      anchor])
+            out = gpu.memcpy_dtoh(d_dst, np.float32,
+                                  h * w).reshape(h, w)
+            ok = np.allclose(out, reference(image, taps, anchor),
+                             atol=1e-4)
+            regime = "SK" if specialize else "RE"
+            print(f"{ksize:5d} {anchor:6d} {regime:>6} "
+                  f"{launch.seconds * 1e6:8.1f} "
+                  f"{module.kernel('linearRowFilter').static_instructions:6d}"
+                  f"  {ok}")
+
+    print(f"\ncompilations performed: {cache.misses} "
+          "(vs ~800 variants in the shipped OpenCV binary, §2.6);")
+    print("ksize=63 works too — the compile-time ceiling became a "
+          "per-problem choice (§4.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""PIV demo — the §5.2 application with register blocking.
+
+Generates a particle image pair with a known uniform flow, runs both
+kernel variants (tree reduction and warp-specialized) in both
+compilation regimes, validates the SSD scores against the NumPy
+reference, recovers the displacement field, and shows how the register
+blocking factor trades occupancy for ILP.
+
+Run:  python examples/piv_demo.py
+"""
+
+import numpy as np
+
+from repro.apps.piv import (PIVConfig, PIVProblem, PIVProcessor,
+                            displacement_field, ssd_scores)
+from repro.data.piv import particle_image_pair
+from repro.gpupf import KernelCache
+from repro.gpusim import TESLA_C2070
+
+FLOW = (2, -1)
+
+
+def main():
+    problem = PIVProblem("demo", 96, 128, mask=16, offs=9, overlap=8)
+    img_a, img_b = particle_image_pair(problem.img_h, problem.img_w,
+                                       displacement=FLOW, seed=11)
+    print(f"problem: {problem.img_h}x{problem.img_w} pair, "
+          f"{problem.mask}x{problem.mask} masks, "
+          f"{problem.offs}x{problem.offs} search offsets, "
+          f"{problem.n_windows} interrogation windows")
+
+    reference = ssd_scores(img_a, img_b, problem)
+    cache = KernelCache()
+
+    print("\nkernel variants (Table 6.14 axes):")
+    for variant in ("tree", "warpspec"):
+        for specialize in (False, True):
+            cfg = PIVConfig(variant=variant, rb=4, threads=64,
+                            specialize=specialize)
+            proc = PIVProcessor(problem, cfg, device=TESLA_C2070,
+                                cache=cache)
+            result = proc.run(img_a, img_b)
+            ok = np.allclose(result.scores, reference, rtol=1e-4)
+            regime = "SK" if specialize else "RE"
+            spills = ("registers" if not proc.kernel.ir.local_arrays
+                      else "local memory (spilled)")
+            print(f"  {variant:9s} {regime}: "
+                  f"{result.kernel_seconds * 1e6:7.1f} us  "
+                  f"{result.reg_count:2d} regs  "
+                  f"accumulators in {spills}  scores-match={ok}")
+
+    print("\nregister blocking sweep (occupancy vs ILP, §6.3):")
+    for rb in (1, 2, 4, 8):
+        cfg = PIVConfig(variant="tree", rb=rb, threads=64,
+                        specialize=True)
+        proc = PIVProcessor(problem, cfg, device=TESLA_C2070,
+                            cache=cache)
+        result = proc.run(img_a, img_b)
+        print(f"  rb={rb}: {result.kernel_seconds * 1e6:7.1f} us  "
+              f"{result.reg_count:2d} regs/thread  "
+              f"occupancy {result.occupancy:.2f}")
+
+    cfg = PIVConfig(variant="warpspec", rb=4, threads=64)
+    result = PIVProcessor(problem, cfg, device=TESLA_C2070,
+                          cache=cache).run(img_a, img_b)
+    vectors = result.vectors
+    truth = np.array(FLOW)
+    hit = (vectors == truth).all(axis=1).mean()
+    print(f"\nrecovered flow field: {hit * 100:.0f}% of windows report "
+          f"the true displacement {tuple(int(v) for v in truth)}")
+    counts = {}
+    for v in vectors:
+        key = (int(v[0]), int(v[1]))
+        counts[key] = counts.get(key, 0) + 1
+    top = sorted(counts.items(), key=lambda kv: -kv[1])[:3]
+    print("most common vectors:", top)
+
+
+if __name__ == "__main__":
+    main()

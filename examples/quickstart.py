@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart — kernel specialization in five minutes.
+
+Reproduces the dissertation's core demonstration (Listings 4.1/4.2,
+Appendices B-D): one CUDA-C kernel source, compiled twice — fully
+run-time evaluated (RE) and specialized (SK) — then executed on the
+simulated Tesla C1060 and C2070, comparing correctness, PTX, register
+usage, and simulated time.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.gpusim import GPU, TESLA_C1060, TESLA_C2070
+from repro.kernelc import nvcc
+from repro.kernelc.templates import (FLEXIBLE_MATHTEST,
+                                     specialization_defines)
+
+
+def main():
+    loop, arg_a, arg_b, block = 5, 3, 7, 128
+    grid = 4
+    nthreads = grid * block
+
+    print("=" * 70)
+    print("1. Compile the flexible kernel fully run-time evaluated (RE)")
+    print("=" * 70)
+    mod_re = nvcc(FLEXIBLE_MATHTEST, arch="sm_13")
+    k_re = mod_re.kernel("mathTest")
+    print(k_re.to_ptx())
+    print(f"\nRE: {k_re.static_instructions} static instructions, "
+          f"{k_re.reg_count} registers/thread")
+
+    print()
+    print("=" * 70)
+    print("2. Specialize: same source + -D macro values (nvcc -D ...)")
+    print("=" * 70)
+    defines = specialization_defines({
+        "LOOP_COUNT": loop, "ARG_A": arg_a, "ARG_B": arg_b,
+        "BLOCK_DIM_X": block})
+    print("defines:", defines)
+    mod_sk = nvcc(FLEXIBLE_MATHTEST, defines=defines, arch="sm_13")
+    k_sk = mod_sk.kernel("mathTest")
+    print(k_sk.to_ptx())
+    print(f"\nSK: {k_sk.static_instructions} static instructions, "
+          f"{k_sk.reg_count} registers/thread")
+    print("note: the loop is gone (unrolled), the stride became the")
+    print("immediate", arg_a * arg_b * 4, "bytes, and blockIdx.x*128 "
+          "strength-reduced to a shift.")
+
+    print()
+    print("=" * 70)
+    print("3. Run both on both simulated GPUs and validate")
+    print("=" * 70)
+    rng = np.random.default_rng(0)
+    data = rng.integers(-100, 100,
+                        nthreads + loop * arg_a * arg_b + 8,
+                        dtype=np.int32)
+    stride = arg_a * arg_b
+    expected = np.array(
+        [data[t : t + loop * stride : stride].sum()
+         for t in range(nthreads)], dtype=np.int32)
+
+    for spec in (TESLA_C1060, TESLA_C2070):
+        gpu = GPU(spec)
+        d_in = gpu.alloc_array(data)
+        results = {}
+        for label, module in (("RE", mod_re), ("SK", mod_sk)):
+            d_out = gpu.zeros(nthreads, np.int32)
+            launch = gpu.launch(module.kernel("mathTest"), grid, block,
+                                [d_in, d_out, arg_a, arg_b, loop])
+            out = gpu.memcpy_dtoh(d_out, np.int32, nthreads)
+            assert np.array_equal(out, expected), f"{label} wrong!"
+            results[label] = launch
+        re_c, sk_c = results["RE"].cycles, results["SK"].cycles
+        print(f"{spec.name}: RE {re_c:8.0f} cycles   "
+              f"SK {sk_c:8.0f} cycles   speedup {re_c / sk_c:.2f}x   "
+              f"(outputs identical)")
+
+    print()
+    print("Both regimes produce identical results; the specialized")
+    print("binary simply has less work to do — the dissertation's")
+    print("adaptability-with-performance claim in one kernel.")
+
+
+if __name__ == "__main__":
+    main()

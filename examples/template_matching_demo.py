@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Template matching demo — the §5.1 application end to end.
+
+Builds a synthetic echo-style frame sequence with known motion, runs
+the GPU-PF matching pipeline (tiled numerator with per-region
+specialized kernels, partial combination, window statistics,
+normalization), validates against the MATLAB-equivalent ``corr2``
+reference, and reports the recovered shifts plus the pipeline's
+Appendix-G-style log.
+
+Run:  python examples/template_matching_demo.py
+"""
+
+import numpy as np
+
+from repro.apps.template_matching import (MatchConfig, MatchProblem,
+                                          TemplateMatcher, best_shift,
+                                          corr2_map)
+from repro.data.frames import template_sequence
+from repro.gpupf import KernelCache
+from repro.gpusim import TESLA_C2070
+
+
+def main():
+    problem = MatchProblem("demo", frame_h=120, frame_w=160,
+                           tmpl_h=30, tmpl_w=24, shift_h=9, shift_w=11,
+                           n_frames=4)
+    frames, template, true_shifts = template_sequence(
+        problem.frame_h, problem.frame_w, problem.tmpl_h,
+        problem.tmpl_w, problem.shift_h, problem.shift_w,
+        n_frames=problem.n_frames, seed=42)
+
+    print(f"problem: {problem.frame_h}x{problem.frame_w} frames, "
+          f"{problem.tmpl_h}x{problem.tmpl_w} template, "
+          f"{problem.shift_h}x{problem.shift_w} search shifts")
+
+    config = MatchConfig(tile_w=16, tile_h=8, threads=64,
+                         specialize=True)
+    matcher = TemplateMatcher(problem, template, config,
+                              device=TESLA_C2070, cache=KernelCache())
+
+    print("\nstreaming frames through the pipeline "
+          "(§5.1.3.4 runtime operation):")
+    for i, frame in enumerate(frames):
+        result = matcher.match(frame)
+        ref = corr2_map(frame, template, problem.shift_h,
+                        problem.shift_w)
+        ok = np.allclose(result.ncc, ref, atol=1e-4)
+        marker = "OK " if result.shift == true_shifts[i] else "MISS"
+        print(f"  frame {i}: found shift {result.shift}, "
+              f"truth {true_shifts[i]} [{marker}]  "
+              f"peak NCC {result.ncc.max():.3f}  "
+              f"kernels {result.kernel_seconds * 1e6:.0f} us  "
+              f"ref-match={ok}")
+
+    print(f"\ntile decomposition (Figure 5.4): "
+          f"{len(matcher.regions)} regions, "
+          f"{matcher.num_tiles} tiles total")
+    for r in matcher.regions:
+        print(f"  region at ({r.x0},{r.y0}): {r.tiles_x}x{r.tiles_y} "
+              f"tiles of {r.tile_w}x{r.tile_h}")
+
+    print("\nGPU-PF pipeline log (Appendix-G style), last refresh and "
+          "iteration:")
+    for line in matcher.pipe.log[:14]:
+        print("  " + line)
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

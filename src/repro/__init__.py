@@ -1,0 +1,27 @@
+"""repro — reproduction of *Kernel Specialization for Improved
+Adaptability and Performance on GPUs* (N. Moore, 2012 / IPPS 2013).
+
+The one-stop imports for the common workflow::
+
+    from repro import nvcc, GPU, TESLA_C1060, TESLA_C2070
+
+    module = nvcc(SOURCE, defines={"TILE": 16})   # specialize
+    gpu = GPU(TESLA_C2070)
+    result = gpu.launch(module.kernel("mykernel"), grid, block, args)
+
+Subpackages:
+
+* :mod:`repro.kernelc` — the CUDA-C-subset compiler (``nvcc``).
+* :mod:`repro.gpusim` — the SIMT GPU simulator (both device models).
+* :mod:`repro.gpupf`  — the GPU Prototyping Framework (§4.4).
+* :mod:`repro.apps`   — template matching, PIV, backprojection (Ch. 5).
+* :mod:`repro.baselines` — the CPU / FPGA comparator models.
+* :mod:`repro.tuning` — configuration sweeps and peak analyses.
+"""
+
+from repro.gpusim import GPU, TESLA_C1060, TESLA_C2070
+from repro.kernelc import CompileError, nvcc
+
+__version__ = "1.0.0"
+__all__ = ["nvcc", "CompileError", "GPU", "TESLA_C1060", "TESLA_C2070",
+           "__version__"]

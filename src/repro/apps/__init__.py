@@ -1,0 +1,6 @@
+"""The three application case studies of Chapter 5.
+
+* :mod:`repro.apps.template_matching` — large template matching (§5.1)
+* :mod:`repro.apps.piv` — particle image velocimetry (§5.2)
+* :mod:`repro.apps.backprojection` — cone-beam backprojection (§5.3)
+"""

@@ -1,0 +1,9 @@
+"""Cone-beam backprojection (dissertation §5.3)."""
+
+from repro.apps.backprojection.host import (Backprojector, BPConfig,
+                                            BPProblem, BPResult)
+from repro.apps.backprojection.reference import (backproject_reference,
+                                                 cpu_backproject_seconds)
+
+__all__ = ["Backprojector", "BPProblem", "BPConfig", "BPResult",
+           "backproject_reference", "cpu_backproject_seconds"]

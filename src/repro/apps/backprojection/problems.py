@@ -1,0 +1,25 @@
+"""Backprojection problem/configuration sets (Tables 6.8/6.9), scaled.
+
+The dissertation reconstructs clinical-scale volumes (hundreds of
+projections onto 512-class grids); here volumes are 24-40 voxels per
+edge with 24-48 projections so the pure-Python SIMT interpreter stays
+tractable.  Per-voxel-per-projection work is identical.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.backprojection.host import BPConfig, BPProblem
+
+SCALE_NOTE = ("backprojection problems scaled to ~1/16 linear size of "
+              "Table 6.8; per-voxel work is unchanged")
+
+PROBLEMS: List[BPProblem] = [
+    BPProblem("B1", nx=24, ny=24, nz=16, n_proj=24, det_u=36, det_v=24),
+    BPProblem("B2", nx=32, ny=32, nz=24, n_proj=36, det_u=48, det_v=32),
+]
+
+#: Table 6.9: implementation parameters benchmarked.
+BLOCK_SHAPES = [(8, 8), (16, 8), (32, 4), (16, 16)]
+ZB_VALUES = [1, 2, 4, 8]

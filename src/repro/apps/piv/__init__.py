@@ -1,0 +1,13 @@
+"""Particle image velocimetry (dissertation §5.2).
+
+Sum-of-squared-differences matching of interrogation windows between an
+image pair, with register blocking and warp-specialized reduction as
+the headline specialization knobs.
+"""
+
+from repro.apps.piv.host import PIVConfig, PIVProcessor, PIVResult, run_piv
+from repro.apps.piv.reference import (PIVProblem, displacement_field,
+                                      ssd_scores)
+
+__all__ = ["PIVProblem", "PIVConfig", "PIVProcessor", "PIVResult",
+           "run_piv", "ssd_scores", "displacement_field"]

@@ -1,0 +1,136 @@
+"""PIV host driver.
+
+Runs one PIV problem on the simulated GPU with a chosen kernel variant
+(tree-reduction or warp-specialized), register blocking factor, and
+thread count, in either RE or SK compilation regime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.piv import kernels as K
+from repro.apps.piv.reference import PIVProblem
+from repro.gpupf.cache import DEFAULT_CACHE, KernelCache
+from repro.gpusim import GPU, DeviceSpec, TESLA_C2070
+from repro.kernelc.templates import specialization_defines
+
+RB_MAX = 16
+
+
+@dataclass(frozen=True)
+class PIVConfig:
+    """Implementation parameters (Table 6.7)."""
+
+    variant: str = "tree"  # 'tree' | 'warpspec'
+    rb: int = 4            # data registers (register blocking factor)
+    threads: int = 128
+    specialize: bool = True
+    functional: bool = True
+    sample_blocks: int = 4
+
+    def __post_init__(self):
+        if self.variant not in ("tree", "warpspec"):
+            raise ValueError(f"unknown PIV variant {self.variant!r}")
+        if not 1 <= self.rb <= RB_MAX:
+            raise ValueError(f"rb must be in [1, {RB_MAX}]")
+        if self.threads % 32:
+            raise ValueError("threads must be a multiple of the warp")
+
+
+@dataclass
+class PIVResult:
+    scores: Optional[np.ndarray]
+    vectors: Optional[np.ndarray]
+    kernel_seconds: float
+    transfer_seconds: float
+    reg_count: int
+    occupancy: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.kernel_seconds + self.transfer_seconds
+
+
+class PIVProcessor:
+    """Compile-and-run harness for the PIV kernels."""
+
+    def __init__(self, problem: PIVProblem,
+                 config: Optional[PIVConfig] = None,
+                 device: DeviceSpec = TESLA_C2070,
+                 gpu: Optional[GPU] = None,
+                 cache: Optional[KernelCache] = None):
+        self.problem = problem
+        self.config = config or PIVConfig()
+        self.gpu = gpu or GPU(device)
+        self.cache = cache or DEFAULT_CACHE
+        self.kernel = self._compile()
+
+    def _compile(self):
+        cfg, p = self.config, self.problem
+        source = K.TREE_SRC if cfg.variant == "tree" else K.WARPSPEC_SRC
+        entry = "pivScores" if cfg.variant == "tree" \
+            else "pivScoresWarpSpec"
+        defines: Dict[str, object] = {"RB_MAX": RB_MAX}
+        if cfg.specialize:
+            defines.update(specialization_defines({
+                "MASK_W": p.mask, "MASK_H": p.mask,
+                "OFFS_W": p.offs, "OFFS_H": p.offs,
+                "RB": cfg.rb, "THREADS": cfg.threads,
+            }))
+        module = self.cache.compile(source, defines=defines,
+                                    arch=self.gpu.spec.arch)
+        return module.kernel(entry)
+
+    def run(self, img_a: np.ndarray, img_b: np.ndarray) -> PIVResult:
+        """Score every window; returns vectors when functional."""
+        p, cfg = self.problem, self.config
+        if img_a.shape != (p.img_h, p.img_w):
+            raise ValueError("image shape does not match the problem")
+        xs, ys = p.window_origins()
+        n_windows = len(xs)
+        if n_windows == 0:
+            raise ValueError("problem yields no interrogation windows")
+        gpu = self.gpu
+        d_a = gpu.alloc_array(np.ascontiguousarray(img_a, np.float32))
+        d_b = gpu.alloc_array(np.ascontiguousarray(img_b, np.float32))
+        d_xs = gpu.alloc_array(xs)
+        d_ys = gpu.alloc_array(ys)
+        d_scores = gpu.zeros(n_windows * p.n_offsets, np.float32)
+        center = p.offs // 2
+        result = gpu.launch(
+            self.kernel, grid=n_windows, block=cfg.threads,
+            args=[d_a, d_b, d_xs, d_ys, d_scores, p.img_w, p.mask,
+                  p.mask, p.offs, p.offs, center, center, cfg.rb],
+            functional=cfg.functional,
+            sample_blocks=cfg.sample_blocks)
+        transfer = (img_a.nbytes + img_b.nbytes + xs.nbytes + ys.nbytes) \
+            / 5.7e9 + 2e-5
+        scores = vectors = None
+        if cfg.functional:
+            scores = gpu.memcpy_dtoh(d_scores, np.float32,
+                                     n_windows * p.n_offsets) \
+                .reshape(n_windows, p.n_offsets)
+            from repro.apps.piv.reference import displacement_field
+            vectors = displacement_field(scores, p)
+            transfer += scores.nbytes / 5.7e9
+        for addr in (d_a, d_b, d_xs, d_ys, d_scores):
+            gpu.free(addr)
+        return PIVResult(scores=scores, vectors=vectors,
+                         kernel_seconds=result.seconds,
+                         transfer_seconds=transfer,
+                         reg_count=self.kernel.reg_count,
+                         occupancy=result.timing.occupancy_fraction)
+
+
+def run_piv(problem: PIVProblem, img_a, img_b,
+            config: Optional[PIVConfig] = None,
+            device: DeviceSpec = TESLA_C2070,
+            cache: Optional[KernelCache] = None) -> PIVResult:
+    """One-shot convenience wrapper."""
+    return PIVProcessor(problem, config, device,
+                        cache=cache).run(img_a, img_b)

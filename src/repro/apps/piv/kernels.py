@@ -1,0 +1,181 @@
+"""PIV kernel sources (§5.2.1/5.2.2).
+
+One thread block processes one interrogation window.  Threads stripe
+across the mask's pixels (Figure 5.11); each thread accumulates partial
+sum-of-squared-differences scores for a *batch* of ``RB`` search
+offsets held in per-thread registers — the register-blocking knob.
+When ``RB`` (and the mask/search dimensions) are specialized the
+batch loops unroll and the accumulator array scalarizes into registers;
+run-time evaluated it falls to local memory, which is the measured
+penalty of §6.2.2.2.
+
+Two reduction strategies, the kernel variants of Table 6.14:
+
+* ``pivScores`` — classic shared-memory tree reduction per offset
+  (§2.2), with its log2(THREADS) barrier rounds;
+* ``pivScoresWarpSpec`` — warp specialization (Figure 5.12): each warp
+  reduces its own lanes warp-synchronously, then the first warp alone
+  combines the per-warp partials, cutting the barrier count per batch
+  from ``RB·log2(THREADS)`` to 2.
+
+The per-batch offset decode (divide/modulo by the search width) sits
+outside the pixel loop and strength-reduces under specialization.
+"""
+
+from repro.kernelc.templates import ctrt_block
+
+_COMMON_TOGGLES = ctrt_block({
+    "MASK_W": "maskW",
+    "MASK_H": "maskH",
+    "OFFS_W": "offsW",
+    "OFFS_H": "offsH",
+    "RB": "rb",
+    "THREADS": "blockDim.x",
+}) + """
+#ifndef RB_MAX
+#define RB_MAX 16
+#endif
+
+// RE compilations must allocate worst-case shared memory (the
+// arbitrary ceiling of 2.6); SK sizes the buffers exactly.
+#ifdef CT_THREADS
+#define SMEM_THREADS THREADS
+#else
+#define SMEM_THREADS 512
+#endif
+"""
+
+TREE_SRC = _COMMON_TOGGLES + """
+__global__ void pivScores(const float* imgA, const float* imgB,
+                          const int* winX, const int* winY,
+                          float* scores, int imgW, int maskW, int maskH,
+                          int offsW, int offsH, int centerX, int centerY,
+                          int rb) {
+    __shared__ float red[SMEM_THREADS];
+    int w = blockIdx.x;
+    int wx = winX[w];
+    int wy = winY[w];
+    int nOffsets = OFFS_W_VAL * OFFS_H_VAL;
+    int maskPix = MASK_W_VAL * MASK_H_VAL;
+
+    #pragma unroll 1
+    for (int obase = 0; obase < nOffsets; obase += RB_VAL) {
+        float acc[RB_MAX];
+        int dy[RB_MAX];
+        int dx[RB_MAX];
+        for (int r = 0; r < RB_VAL; r++) {
+            int o = obase + r;
+            int oc = o < nOffsets ? o : nOffsets - 1;
+            dy[r] = oc / OFFS_W_VAL - centerY;
+            dx[r] = oc % OFFS_W_VAL - centerX;
+            acc[r] = 0.0f;
+        }
+        #pragma unroll 1
+        for (int i = threadIdx.x; i < maskPix; i += THREADS_VAL) {
+            int py = i / MASK_W_VAL;
+            int px = i % MASK_W_VAL;
+            float a = imgA[(wy + py) * imgW + wx + px];
+            for (int r = 0; r < RB_VAL; r++) {
+                float b = imgB[(wy + py + dy[r]) * imgW
+                               + wx + px + dx[r]];
+                float d = a - b;
+                acc[r] += d * d;
+            }
+        }
+        for (int r = 0; r < RB_VAL; r++) {
+            red[threadIdx.x] = acc[r];
+            __syncthreads();
+            #pragma unroll 1
+            for (unsigned int s = THREADS_VAL / 2; s > 0; s >>= 1) {
+                if (threadIdx.x < s) {
+                    red[threadIdx.x] += red[threadIdx.x + s];
+                }
+                __syncthreads();
+            }
+            if (threadIdx.x == 0) {
+                if (obase + r < nOffsets) {
+                    scores[w * nOffsets + obase + r] = red[0];
+                }
+            }
+            __syncthreads();
+        }
+    }
+}
+"""
+
+WARPSPEC_SRC = _COMMON_TOGGLES + """
+#ifdef CT_THREADS
+#define NWARPS (THREADS / 32)
+#else
+#define NWARPS 16
+#endif
+
+__global__ void pivScoresWarpSpec(const float* imgA, const float* imgB,
+                                  const int* winX, const int* winY,
+                                  float* scores, int imgW, int maskW,
+                                  int maskH, int offsW, int offsH,
+                                  int centerX, int centerY, int rb) {
+    __shared__ float lanes[SMEM_THREADS];
+    __shared__ float warpSum[NWARPS * RB_MAX];
+    int w = blockIdx.x;
+    int wx = winX[w];
+    int wy = winY[w];
+    int nOffsets = OFFS_W_VAL * OFFS_H_VAL;
+    int maskPix = MASK_W_VAL * MASK_H_VAL;
+    int lane = threadIdx.x % 32;
+    int warp = threadIdx.x / 32;
+    int nWarps = THREADS_VAL / 32;
+
+    #pragma unroll 1
+    for (int obase = 0; obase < nOffsets; obase += RB_VAL) {
+        float acc[RB_MAX];
+        int dy[RB_MAX];
+        int dx[RB_MAX];
+        for (int r = 0; r < RB_VAL; r++) {
+            int o = obase + r;
+            int oc = o < nOffsets ? o : nOffsets - 1;
+            dy[r] = oc / OFFS_W_VAL - centerY;
+            dx[r] = oc % OFFS_W_VAL - centerX;
+            acc[r] = 0.0f;
+        }
+        #pragma unroll 1
+        for (int i = threadIdx.x; i < maskPix; i += THREADS_VAL) {
+            int py = i / MASK_W_VAL;
+            int px = i % MASK_W_VAL;
+            float a = imgA[(wy + py) * imgW + wx + px];
+            for (int r = 0; r < RB_VAL; r++) {
+                float b = imgB[(wy + py + dy[r]) * imgW
+                               + wx + px + dx[r]];
+                float d = a - b;
+                acc[r] += d * d;
+            }
+        }
+        // Warp-synchronous lane reduction: no barriers below warp width.
+        for (int r = 0; r < RB_VAL; r++) {
+            lanes[threadIdx.x] = acc[r];
+            if (lane < 16) lanes[threadIdx.x] += lanes[threadIdx.x + 16];
+            if (lane < 8) lanes[threadIdx.x] += lanes[threadIdx.x + 8];
+            if (lane < 4) lanes[threadIdx.x] += lanes[threadIdx.x + 4];
+            if (lane < 2) lanes[threadIdx.x] += lanes[threadIdx.x + 2];
+            if (lane < 1) {
+                warpSum[warp * RB_MAX + r]
+                    = lanes[threadIdx.x] + lanes[threadIdx.x + 1];
+            }
+        }
+        __syncthreads();
+        // The first warp alone combines per-warp partials: lane r owns
+        // offset obase+r (RB <= 32 by construction).
+        if (warp == 0 && lane < RB_VAL) {
+            float total = 0.0f;
+            #pragma unroll 1
+            for (int v = 0; v < nWarps; v++) {
+                total += warpSum[v * RB_MAX + lane];
+            }
+            if (obase + lane < nOffsets) {
+                scores[w * nOffsets + obase + lane] = total;
+            }
+        }
+        __syncthreads();
+    }
+}
+"""

@@ -1,0 +1,59 @@
+"""PIV problem sets (Tables 6.2-6.7), scaled.
+
+The FPGA-comparison sets (Tables 6.2/6.3) pair interrogation-window and
+image dimensions with mask/offset counts; the V1-V5 sets vary one axis
+at a time: mask size (Table 6.4), search offsets (Table 6.5), and
+window overlap (Table 6.6).  Linear dimensions are scaled to 1/4 of the
+dissertation's (640×480 images → 160×120) so the pure-Python simulator
+stays tractable; every bench prints SCALE_NOTE.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.piv.reference import PIVProblem
+
+SCALE_NOTE = ("PIV problems at 1/4 linear scale of Tables 6.2-6.6 "
+              "(160x120 images); shape, not absolute rate, is the "
+              "reproduction target")
+
+#: FPGA benchmark set (Tables 6.2/6.3): window/offset combinations the
+#: FPGA implementation was built for.
+FPGA_SET: List[PIVProblem] = [
+    PIVProblem("F1", 120, 160, mask=8, offs=5, overlap=0),
+    PIVProblem("F2", 120, 160, mask=8, offs=9, overlap=0),
+    PIVProblem("F3", 120, 160, mask=16, offs=5, overlap=0),
+    PIVProblem("F4", 120, 160, mask=16, offs=9, overlap=8),
+    PIVProblem("F5", 120, 160, mask=16, offs=13, overlap=8),
+]
+
+#: Table 6.4: impact of mask size (V1-V5 hold offsets/overlap fixed).
+MASK_SET: List[PIVProblem] = [
+    PIVProblem("V1", 120, 160, mask=8, offs=9, overlap=0),
+    PIVProblem("V2", 120, 160, mask=12, offs=9, overlap=0),
+    PIVProblem("V3", 120, 160, mask=16, offs=9, overlap=0),
+    PIVProblem("V4", 120, 160, mask=20, offs=9, overlap=0),
+    PIVProblem("V5", 120, 160, mask=24, offs=9, overlap=0),
+]
+
+#: Table 6.5: impact of the number of search offsets.
+SEARCH_SET: List[PIVProblem] = [
+    PIVProblem("S1", 120, 160, mask=16, offs=5, overlap=0),
+    PIVProblem("S2", 120, 160, mask=16, offs=7, overlap=0),
+    PIVProblem("S3", 120, 160, mask=16, offs=9, overlap=0),
+    PIVProblem("S4", 120, 160, mask=16, offs=11, overlap=0),
+    PIVProblem("S5", 120, 160, mask=16, offs=13, overlap=0),
+]
+
+#: Table 6.6: impact of interrogation-window overlap.
+OVERLAP_SET: List[PIVProblem] = [
+    PIVProblem("O1", 120, 160, mask=16, offs=9, overlap=0),
+    PIVProblem("O2", 120, 160, mask=16, offs=9, overlap=4),
+    PIVProblem("O3", 120, 160, mask=16, offs=9, overlap=8),
+    PIVProblem("O4", 120, 160, mask=16, offs=9, overlap=12),
+]
+
+#: Table 6.7: implementation parameters benchmarked.
+RB_VALUES = [1, 2, 4, 8, 16]
+THREAD_COUNTS = [32, 64, 128, 256]

@@ -1,0 +1,88 @@
+"""Functional reference and window placement for PIV."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PIVProblem:
+    """One PIV problem instance (Tables 6.2-6.6 shape).
+
+    ``mask`` is the interrogation-window (mask) edge in pixels;
+    ``offs`` the number of search offsets per axis (so the search range
+    is ±offs//2); ``overlap`` the window overlap in pixels.
+    """
+
+    name: str
+    img_h: int
+    img_w: int
+    mask: int
+    offs: int
+    overlap: int = 0
+
+    @property
+    def n_offsets(self) -> int:
+        return self.offs * self.offs
+
+    @property
+    def mask_pixels(self) -> int:
+        return self.mask * self.mask
+
+    @property
+    def step(self) -> int:
+        return max(self.mask - self.overlap, 1)
+
+    def window_origins(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(xs, ys) of every window origin, int32, margin-safe."""
+        margin = self.offs // 2 + 1
+        ys: List[int] = []
+        xs: List[int] = []
+        y = margin
+        while y + self.mask + margin <= self.img_h:
+            x = margin
+            while x + self.mask + margin <= self.img_w:
+                ys.append(y)
+                xs.append(x)
+                x += self.step
+            y += self.step
+        return (np.asarray(xs, np.int32), np.asarray(ys, np.int32))
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.window_origins()[0])
+
+
+def ssd_scores(img_a: np.ndarray, img_b: np.ndarray,
+               problem: PIVProblem) -> np.ndarray:
+    """Reference SSD score volume: (n_windows, offs*offs) float32.
+
+    Figure 5.10: per mask and offset, the sum of squared differences
+    between the mask in A and the displaced window in B.
+    """
+    xs, ys = problem.window_origins()
+    m = problem.mask
+    c = problem.offs // 2
+    scores = np.zeros((len(xs), problem.n_offsets), np.float64)
+    for w, (wx, wy) in enumerate(zip(xs, ys)):
+        a = img_a[wy : wy + m, wx : wx + m].astype(np.float64)
+        for o in range(problem.n_offsets):
+            dy = o // problem.offs - c
+            dx = o % problem.offs - c
+            b = img_b[wy + dy : wy + dy + m,
+                      wx + dx : wx + dx + m].astype(np.float64)
+            scores[w, o] = ((a - b) ** 2).sum()
+    return scores.astype(np.float32)
+
+
+def displacement_field(scores: np.ndarray,
+                       problem: PIVProblem) -> np.ndarray:
+    """Per-window (dy, dx) at the SSD minimum: (n_windows, 2) int32."""
+    c = problem.offs // 2
+    best = np.argmin(scores, axis=1)
+    dy = best // problem.offs - c
+    dx = best % problem.offs - c
+    return np.stack([dy, dx], axis=1).astype(np.int32)

@@ -1,0 +1,17 @@
+"""Large template matching (dissertation §5.1).
+
+Normalized cross-correlation of an echo-frame template against every
+shift offset of a search ROI, implemented as a four-stage GPU pipeline
+with a tiled, specializable numerator kernel.
+"""
+
+from repro.apps.template_matching.host import (MatchConfig, MatchProblem,
+                                               MatchResult,
+                                               TemplateMatcher,
+                                               TileRegion, tile_regions)
+from repro.apps.template_matching.reference import (best_shift, corr2_map,
+                                                    cpu_match_seconds)
+
+__all__ = ["TemplateMatcher", "MatchProblem", "MatchConfig",
+           "MatchResult", "TileRegion", "tile_regions", "corr2_map",
+           "best_shift", "cpu_match_seconds"]

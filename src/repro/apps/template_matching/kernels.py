@@ -1,0 +1,169 @@
+"""Template-matching kernel sources (§5.1.3).
+
+The pipeline has four stages:
+
+1. **Numerator partials** (`numeratorPartial`) — the tiled kernel of
+   §5.1.3.1/5.1.3.2.  The mean-subtracted template is decomposed into a
+   main-tile grid plus right/bottom/corner edge regions (Figure 5.4);
+   one launch per region, one block column per tile, each thread
+   accumulating the tile's contribution to one shift offset
+   (Figures 5.5/5.6).  With kernel specialization each region compiles
+   its own kernel with the exact tile dimensions baked in; the RE
+   variant takes them as arguments and must allocate worst-case shared
+   memory (`MAX_TILE_PIXELS`) — the "arbitrary ceiling" §2.6 criticizes.
+2. **Partial combination** (`combinePartials`) — sums tile partials per
+   shift (the summation kernel of Table 6.13).
+3. **Window statistics** (`colSums` + `windowSums`) — separable sliding
+   sums of B and B² for the denominator (§5.1.3.3, Figure 5.2).
+4. **Normalization** (`normalizeNcc`) — Figure 5.1's corr2 quotient.
+
+Every specialization parameter follows the Appendix-B ``CT_``-toggle
+pattern, so each kernel compiles both fully run-time evaluated and
+specialized from the same source.
+"""
+
+from repro.kernelc.templates import ctrt_block
+
+NUMERATOR_SRC = ctrt_block({
+    "TILE_W": "tileW",
+    "TILE_H": "tileH",
+    "SHIFT_W": "shiftW",
+    "SHIFT_H": "shiftH",
+    "THREADS": "blockDim.x",
+}) + """
+// Shared-memory footprints.  Specialized kernels size both buffers
+// exactly; the RE variant falls back to host-supplied ceilings —
+// standing in for CUDA's launch-time dynamic shared memory, which is
+// what an adaptable kernel must use (and which §2.5 notes is "more
+// complicated and error prone"; specialization restores the simple
+// static syntax, §4.1).
+#ifndef MAX_TILE_PIXELS
+#define MAX_TILE_PIXELS 1024
+#endif
+#ifndef MAX_AREA_PIXELS
+#define MAX_AREA_PIXELS 4096
+#endif
+
+#ifdef CT_TILE_W
+#define TILE_SMEM (TILE_W * TILE_H)
+#define AREA_SMEM ((TILE_W + SHIFT_W - 1) * (TILE_H + SHIFT_H - 1))
+#else
+#define TILE_SMEM MAX_TILE_PIXELS
+#define AREA_SMEM MAX_AREA_PIXELS
+#endif
+
+__global__ void numeratorPartial(const float* frame, const float* tmplC,
+                                 float* partial, int frameW, int tmplW,
+                                 int tileX0, int tileY0, int tileW,
+                                 int tileH, int tilesX, int tileBase,
+                                 int shiftW, int shiftH) {
+    __shared__ float tile[TILE_SMEM];
+    __shared__ float area[AREA_SMEM];
+    int nShifts = SHIFT_W_VAL * SHIFT_H_VAL;
+    int tIdx = blockIdx.y;
+    int tx = tIdx % tilesX;
+    int ty = tIdx / tilesX;
+    int px0 = tileX0 + tx * TILE_W_VAL;
+    int py0 = tileY0 + ty * TILE_H_VAL;
+
+    // Cooperative loads: the tile's template values and its shift area
+    // of the frame (Figure 5.5) both live in shared memory.
+    int tpix = TILE_W_VAL * TILE_H_VAL;
+    for (int i = threadIdx.x; i < tpix; i += THREADS_VAL) {
+        tile[i] = tmplC[(py0 + i / TILE_W_VAL) * tmplW
+                        + px0 + i % TILE_W_VAL];
+    }
+    int areaW = TILE_W_VAL + SHIFT_W_VAL - 1;
+    int areaH = TILE_H_VAL + SHIFT_H_VAL - 1;
+    int apix = areaW * areaH;
+    for (int i = threadIdx.x; i < apix; i += THREADS_VAL) {
+        area[i] = frame[(py0 + i / areaW) * frameW + px0 + i % areaW];
+    }
+    __syncthreads();
+
+    // One thread per shift offset (Figure 5.6).
+    int s = blockIdx.x * THREADS_VAL + threadIdx.x;
+    if (s < nShifts) {
+        int sx = s % SHIFT_W_VAL;
+        int sy = s / SHIFT_W_VAL;
+        float acc = 0.0f;
+        for (int py = 0; py < TILE_H_VAL; py++) {
+            for (int px = 0; px < TILE_W_VAL; px++) {
+                acc += tile[py * TILE_W_VAL + px]
+                     * area[(sy + py) * areaW + (sx + px)];
+            }
+        }
+        partial[(tileBase + tIdx) * nShifts + s] = acc;
+    }
+}
+"""
+
+COMBINE_SRC = ctrt_block({
+    "NUM_TILES": "numTiles",
+}) + """
+__global__ void combinePartials(const float* partial, float* numerator,
+                                int numTiles, int nShifts) {
+    int s = blockIdx.x * blockDim.x + threadIdx.x;
+    if (s < nShifts) {
+        float acc = 0.0f;
+        for (int t = 0; t < NUM_TILES_VAL; t++) {
+            acc += partial[t * nShifts + s];
+        }
+        numerator[s] = acc;
+    }
+}
+"""
+
+WINDOW_SUMS_SRC = ctrt_block({
+    "TMPL_W": "tmplW",
+    "TMPL_H": "tmplH",
+    "SHIFT_W": "shiftW",
+}) + """
+__global__ void colSums(const float* frame, float* colSum,
+                        float* colSum2, int frameW, int spanW,
+                        int tmplH) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int sy = blockIdx.y;
+    if (x < spanW) {
+        float s = 0.0f;
+        float s2 = 0.0f;
+        for (int dy = 0; dy < TMPL_H_VAL; dy++) {
+            float v = frame[(sy + dy) * frameW + x];
+            s += v;
+            s2 += v * v;
+        }
+        colSum[sy * spanW + x] = s;
+        colSum2[sy * spanW + x] = s2;
+    }
+}
+
+__global__ void windowSums(const float* colSum, const float* colSum2,
+                           float* winSum, float* winSum2, int spanW,
+                           int shiftW, int tmplW) {
+    int sx = blockIdx.x * blockDim.x + threadIdx.x;
+    int sy = blockIdx.y;
+    if (sx < SHIFT_W_VAL) {
+        float s = 0.0f;
+        float s2 = 0.0f;
+        for (int dx = 0; dx < TMPL_W_VAL; dx++) {
+            s += colSum[sy * spanW + sx + dx];
+            s2 += colSum2[sy * spanW + sx + dx];
+        }
+        winSum[sy * SHIFT_W_VAL + sx] = s;
+        winSum2[sy * SHIFT_W_VAL + sx] = s2;
+    }
+}
+"""
+
+NORMALIZE_SRC = """
+__global__ void normalizeNcc(const float* numerator, const float* winSum,
+                             const float* winSum2, float* ncc,
+                             int nShifts, float sumA2, float invN) {
+    int s = blockIdx.x * blockDim.x + threadIdx.x;
+    if (s < nShifts) {
+        float varB = winSum2[s] - winSum[s] * winSum[s] * invN;
+        float denom = sqrtf(varB * sumA2);
+        ncc[s] = denom > 1e-12f ? numerator[s] / denom : 0.0f;
+    }
+}
+"""

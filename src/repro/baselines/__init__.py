@@ -1,0 +1,11 @@
+"""Reference baselines: the non-GPU comparators of Chapter 6.
+
+* :mod:`repro.baselines.cpu` — multithreaded C / OpenMP CPU model.
+* :mod:`repro.baselines.fpga` — the PIV FPGA pipeline model.
+"""
+
+from repro.baselines.cpu import CPUSpec, XEON_2008, cpu_time
+from repro.baselines.fpga import FPGASpec, PIV_FPGA, fpga_piv_time
+
+__all__ = ["CPUSpec", "XEON_2008", "cpu_time", "FPGASpec", "PIV_FPGA",
+           "fpga_piv_time"]

@@ -1,0 +1,15 @@
+"""Synthetic workload generators.
+
+The dissertation's inputs (patient echocardiogram frames, PIV particle
+image pairs, cone-beam CT projections) are not redistributable; these
+generators produce inputs with the same *dimensional* structure — which
+is all the kernels' control flow and memory behaviour depend on — plus
+known ground truth for validation, which the real data lacks.
+"""
+
+from repro.data.frames import textured_frame, template_sequence
+from repro.data.piv import particle_image_pair
+from repro.data.phantom import shepp_logan_phantom, forward_project
+
+__all__ = ["textured_frame", "template_sequence", "particle_image_pair",
+           "shepp_logan_phantom", "forward_project"]

@@ -1,0 +1,89 @@
+"""Textured frame sequences for the template-matching application.
+
+Frames are smooth band-limited noise (echo-like speckle), and each
+subsequent frame is the previous one translated by a known sub-ROI
+shift — so the matcher's argmax has a ground truth to hit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def _smooth_noise(shape: Tuple[int, int], rng: np.random.Generator,
+                  passes: int = 3) -> np.ndarray:
+    """Band-limited noise via repeated box blurs of white noise."""
+    img = rng.random(shape).astype(np.float32)
+    for _ in range(passes):
+        img = (img + np.roll(img, 1, 0) + np.roll(img, -1, 0)
+               + np.roll(img, 1, 1) + np.roll(img, -1, 1)) / 5.0
+    img -= img.min()
+    peak = img.max()
+    if peak > 0:
+        img /= peak
+    return img.astype(np.float32)
+
+
+def textured_frame(height: int, width: int, seed: int = 0) -> np.ndarray:
+    """One float32 frame with speckle-like texture in [0, 1]."""
+    rng = np.random.default_rng(seed)
+    return _smooth_noise((height, width), rng)
+
+
+def roi_origin(frame_h: int, frame_w: int, tmpl_h: int, tmpl_w: int,
+               shift_h: int, shift_w: int) -> Tuple[int, int]:
+    """Top-left of the centered search ROI used by all matchers.
+
+    Window (sy, sx) covers ``frame[ry0+sy : ry0+sy+tmpl_h, ...]`` for
+    shifts in ``[0, shift_h) × [0, shift_w)``.
+    """
+    ry0 = (frame_h - tmpl_h - shift_h + 1) // 2
+    rx0 = (frame_w - tmpl_w - shift_w + 1) // 2
+    if ry0 < 0 or rx0 < 0:
+        raise ValueError("template + shift range exceed the frame")
+    return ry0, rx0
+
+
+def template_sequence(frame_h: int, frame_w: int, tmpl_h: int,
+                      tmpl_w: int, shift_h: int, shift_w: int,
+                      n_frames: int = 2, seed: int = 0):
+    """Build (frames, template, true_shifts) for a matching problem.
+
+    Each frame translates a common scene so that the template content
+    lands at a known shift within the search ROI, giving ``corr2`` a
+    ground-truth peak at ``true_shifts[i]``.
+
+    Returns:
+        frames: list of (frame_h, frame_w) float32 arrays.
+        template: (tmpl_h, tmpl_w) float32 array.
+        true_shifts: list of (sy, sx) per frame, in [0, shift) ranges.
+    """
+    rng = np.random.default_rng(seed)
+    pad = shift_h + shift_w + 8
+    scene = _smooth_noise((frame_h + 2 * pad, frame_w + 2 * pad), rng)
+    ry0, rx0 = roi_origin(frame_h, frame_w, tmpl_h, tmpl_w, shift_h,
+                          shift_w)
+    # Scene coordinates of the template content.
+    y0 = pad + ry0 + shift_h // 2
+    x0 = pad + rx0 + shift_w // 2
+    template = scene[y0 : y0 + tmpl_h, x0 : x0 + tmpl_w].copy()
+    frames: List[np.ndarray] = []
+    true_shifts: List[Tuple[int, int]] = []
+    for i in range(n_frames):
+        if i == 0:
+            sy, sx = shift_h // 2, shift_w // 2
+        else:
+            sy = int(rng.integers(0, shift_h))
+            sx = int(rng.integers(0, shift_w))
+        # Template must appear at frame position (ry0+sy, rx0+sx):
+        # frame[y, x] = scene[y + top, x + left] with
+        # top = y0 - (ry0 + sy).
+        top = y0 - (ry0 + sy)
+        left = x0 - (rx0 + sx)
+        frame = scene[top : top + frame_h, left : left + frame_w].copy()
+        noise = rng.normal(0, 0.005, frame.shape).astype(np.float32)
+        frames.append((frame + noise).astype(np.float32))
+        true_shifts.append((sy, sx))
+    return frames, template, true_shifts

@@ -1,0 +1,36 @@
+"""GPU-PF — the GPU Prototyping Framework (dissertation §4.4.1).
+
+A host-side framework for building streaming GPU processing pipelines
+out of three concept classes:
+
+* **Parameters** (Table 4.1) — scalar/structured values that everything
+  else is defined in terms of;
+* **Resources** (Tables 4.2/4.3) — modules, kernels, memories, textures,
+  whose concrete realization (allocation size, compiled binary) is a
+  function of parameters;
+* **Actions** (Table 4.4) — memory copies, kernel executions, user
+  functions, and file I/O, executed on a schedule each pipeline
+  iteration.
+
+A program's lifetime has three phases: **specification** (build the
+object graph — nothing is allocated), **refresh** (allocate and compile
+everything whose parameters changed, including running nvcc for kernel
+specialization, with binary caching), and **execution** (iterate the
+pipeline).  Parameter updates mark dependents dirty; the next refresh
+touches only the affected subgraph.
+"""
+
+from repro.gpupf.cache import KernelCache
+from repro.gpupf.params import (ArrayTraits, BooleanParam, FloatParam,
+                                IntParam, MemoryExtent, MemorySubset,
+                                PairParam, Parameter, PointerParam,
+                                Schedule, StepParam, TripletParam,
+                                TypeParam)
+from repro.gpupf.pipeline import Pipeline, PipelineError
+
+__all__ = [
+    "Pipeline", "PipelineError", "KernelCache", "Parameter", "IntParam",
+    "FloatParam", "BooleanParam", "PointerParam", "TripletParam",
+    "PairParam", "TypeParam", "StepParam", "MemoryExtent",
+    "MemorySubset", "Schedule", "ArrayTraits",
+]

@@ -1,0 +1,198 @@
+"""GPU-PF action types (dissertation Table 4.4).
+
+Actions execute on their schedule each pipeline iteration.  The single
+:class:`MemoryCopy` covers every endpoint combination by dispatching on
+the underlying memory kinds, as the dissertation's framework does
+("Single function transfers data properly according to underlying
+memory types at each end point").
+
+Host↔device transfers are charged against a PCIe model so application
+pipelines report realistic end-to-end times.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.gpupf.params import Parameter, Schedule, TripletParam
+from repro.gpupf.resources import (ConstantMemory, GlobalMemory,
+                                   HostMemory, KernelResource,
+                                   MemoryResource, Resource,
+                                   ResourceError, SubsetMemory,
+                                   TextureResource, _resolve)
+
+#: PCIe 2.0 x16 effective bandwidth and per-transfer latency.
+PCIE_BANDWIDTH = 5.7e9
+PCIE_LATENCY = 10e-6
+
+
+class ActionError(Exception):
+    """Bad action specification or execution failure."""
+
+
+class Action:
+    """Base class: a scheduled pipeline step."""
+
+    def __init__(self, name: str, pipeline,
+                 schedule: Optional[Schedule] = None):
+        self.name = name
+        self.pipeline = pipeline
+        self.schedule = schedule or Schedule(f"{name}.schedule", 1, 0)
+        self.enabled = True
+        self.runs = 0
+        self.simulated_seconds = 0.0
+
+    def fires(self, iteration: int) -> bool:
+        return self.enabled and self.schedule.fires(iteration)
+
+    def execute(self, iteration: int) -> float:
+        """Run once; returns simulated seconds spent."""
+        raise NotImplementedError  # pragma: no cover
+
+    def run(self, iteration: int) -> float:
+        seconds = self.execute(iteration)
+        self.runs += 1
+        self.simulated_seconds += seconds
+        return seconds
+
+
+def _transfer_seconds(nbytes: int) -> float:
+    return PCIE_LATENCY + nbytes / PCIE_BANDWIDTH
+
+
+class MemoryCopy(Action):
+    """Copy between any two memory references."""
+
+    def __init__(self, name: str, pipeline, src: MemoryResource,
+                 dst: MemoryResource,
+                 schedule: Optional[Schedule] = None):
+        super().__init__(name, pipeline, schedule)
+        self.src = src
+        self.dst = dst
+
+    def _endpoint_kind(self, mem: MemoryResource) -> str:
+        return mem.kind
+
+    def execute(self, iteration: int) -> float:
+        src, dst = self.src, self.dst
+        gpu = self.pipeline.gpu
+        skind, dkind = src.kind, dst.kind
+        nbytes = min(src.nbytes, dst.nbytes)
+        if skind == "host" and dkind == "global":
+            data = src.array
+            flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+            gpu.gmem.write(dst.device_address(),
+                           flat[: dst.nbytes])
+            return _transfer_seconds(nbytes)
+        if skind == "global" and dkind == "host":
+            raw = gpu.memcpy_dtoh(src.device_address(), np.uint8, nbytes)
+            dst_arr = dst.array
+            view = dst_arr.reshape(-1).view(np.uint8)
+            view[:nbytes] = raw
+            return _transfer_seconds(nbytes)
+        if skind == "global" and dkind == "global":
+            raw = gpu.memcpy_dtoh(src.device_address(), np.uint8, nbytes)
+            gpu.gmem.write(dst.device_address(), raw)
+            # Device-to-device: charged at device bandwidth (read+write).
+            bw = gpu.spec.mem_bandwidth_gbs * 1e9
+            return 2 * nbytes / bw
+        if skind == "host" and dkind == "host":
+            dst.array.reshape(-1).view(np.uint8)[:nbytes] = \
+                np.ascontiguousarray(src.array).view(np.uint8) \
+                .reshape(-1)[:nbytes]
+            return 0.0
+        if skind == "host" and dkind == "const":
+            gpu.memcpy_to_symbol(dst.module_res.module, dst.symbol,
+                                 src.array)
+            return _transfer_seconds(nbytes)
+        raise ActionError(
+            f"copy {self.name}: unsupported endpoints "
+            f"{skind} -> {dkind}")
+
+
+class KernelExecution(Action):
+    """A kernel launch: configuration plus arguments.
+
+    Arguments may be literals, parameters, or memory resources (which
+    contribute their device addresses); textures contribute theirs.
+    """
+
+    def __init__(self, name: str, pipeline, kernel: KernelResource,
+                 grid, block, args: Sequence[object],
+                 dynamic_smem: Union[int, Parameter] = 0,
+                 schedule: Optional[Schedule] = None,
+                 functional: bool = True,
+                 sample_blocks: int = 8):
+        super().__init__(name, pipeline, schedule)
+        self.kernel = kernel
+        self.grid = grid
+        self.block = block
+        self.args = list(args)
+        self.dynamic_smem = dynamic_smem
+        self.functional = functional
+        self.sample_blocks = sample_blocks
+        self.last_result = None
+
+    def _resolve_arg(self, arg):
+        if isinstance(arg, (MemoryResource, TextureResource)):
+            return arg.device_address()
+        return _resolve(arg)
+
+    def execute(self, iteration: int) -> float:
+        compiled = self.kernel.compiled
+        if compiled is None:
+            raise ActionError(
+                f"exec {self.name}: kernel not realized — did refresh "
+                "run?")
+        grid = _resolve(self.grid)
+        block = _resolve(self.block)
+        args = [self._resolve_arg(a) for a in self.args]
+        result = self.pipeline.gpu.launch(
+            compiled, grid, block, args,
+            dynamic_smem=int(_resolve(self.dynamic_smem)),
+            functional=self.functional,
+            sample_blocks=self.sample_blocks)
+        self.last_result = result
+        return result.seconds
+
+
+class UserFunction(Action):
+    """Arbitrary host-side callback (validation hooks, mostly)."""
+
+    def __init__(self, name: str, pipeline, fn: Callable,
+                 schedule: Optional[Schedule] = None):
+        super().__init__(name, pipeline, schedule)
+        self.fn = fn
+
+    def execute(self, iteration: int) -> float:
+        self.fn(self.pipeline, iteration)
+        return 0.0
+
+
+class FileIO(Action):
+    """Binary data input or output (``.npy`` on disk ↔ host memory)."""
+
+    def __init__(self, name: str, pipeline, memory: MemoryResource,
+                 path: str, mode: str = "read",
+                 schedule: Optional[Schedule] = None):
+        super().__init__(name, pipeline, schedule)
+        if mode not in ("read", "write"):
+            raise ActionError(f"FileIO mode must be read/write: {mode!r}")
+        if memory.kind != "host":
+            raise ActionError("FileIO endpoints must be host memory")
+        self.memory = memory
+        self.path = path
+        self.mode = mode
+
+    def execute(self, iteration: int) -> float:
+        if self.mode == "read":
+            data = np.load(self.path)
+            target = self.memory.array
+            target.reshape(-1)[: data.size] = \
+                data.astype(target.dtype).reshape(-1)
+        else:
+            np.save(self.path, self.memory.array)
+        return 0.0

@@ -1,0 +1,92 @@
+"""Compiled-kernel cache.
+
+§4.3: "The framework ... caches generated binaries.  If the same set of
+parameters is encountered, the previously generated kernel can be loaded
+quickly."  Keys combine a hash of the source, the sorted macro
+definitions, the target architecture, and the optimization level.  An
+optional on-disk layer persists modules across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Dict, Mapping, Optional
+
+from repro.kernelc.compiler import CompiledModule, nvcc
+
+
+def cache_key(source: str, defines: Optional[Mapping[str, object]],
+              arch: str, opt_level: int) -> str:
+    """Stable digest of one compilation request."""
+    h = hashlib.sha256()
+    h.update(source.encode())
+    for name in sorted(defines or {}):
+        h.update(f"-D{name}={(defines or {})[name]!r}".encode())
+    h.update(arch.encode())
+    h.update(str(opt_level).encode())
+    return h.hexdigest()
+
+
+class KernelCache:
+    """In-memory (and optionally on-disk) compiled-module cache."""
+
+    def __init__(self, disk_dir: Optional[str] = None):
+        self._memory: Dict[str, CompiledModule] = {}
+        self.disk_dir = disk_dir
+        self.hits = 0
+        self.misses = 0
+        if disk_dir:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    def compile(self, source: str,
+                defines: Optional[Mapping[str, object]] = None,
+                arch: str = "sm_20", opt_level: int = 3,
+                headers: Optional[Mapping[str, str]] = None,
+                ) -> CompiledModule:
+        """nvcc with caching; headers participate in the key."""
+        key_src = source
+        if headers:
+            key_src += "".join(f"\n//@{n}\n{headers[n]}"
+                               for n in sorted(headers))
+        key = cache_key(key_src, defines, arch, opt_level)
+        module = self._memory.get(key)
+        if module is not None:
+            self.hits += 1
+            return module
+        if self.disk_dir:
+            path = os.path.join(self.disk_dir, key + ".mod")
+            if os.path.exists(path):
+                try:
+                    with open(path, "rb") as fh:
+                        module = pickle.load(fh)
+                    self._memory[key] = module
+                    self.hits += 1
+                    return module
+                except Exception:
+                    pass  # corrupt entry: recompile below
+        self.misses += 1
+        module = nvcc(source, defines=defines, arch=arch,
+                      opt_level=opt_level, headers=headers)
+        self._memory[key] = module
+        if self.disk_dir:
+            path = os.path.join(self.disk_dir, key + ".mod")
+            tmp = path + f".tmp{os.getpid()}"
+            try:
+                with open(tmp, "wb") as fh:
+                    pickle.dump(module, fh)
+                os.replace(tmp, path)
+            except OSError:
+                pass
+        return module
+
+    def clear(self) -> None:
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide default cache used by Pipeline unless one is injected.
+DEFAULT_CACHE = KernelCache()

@@ -1,0 +1,269 @@
+"""GPU-PF parameter types (dissertation Table 4.1).
+
+Every parameter carries a version counter; resources and actions record
+the version they last saw, and the refresh phase re-realizes exactly the
+objects whose parameter versions moved.  Parameters may also *derive*
+from other parameters via a function, forming the dependency hierarchy
+of Figure 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+class Parameter:
+    """Base class: a named, versioned value."""
+
+    def __init__(self, name: str, value=None):
+        self.name = name
+        self._value = value
+        self.version = 1
+        self._derive: Optional[Callable] = None
+        self._inputs: List[Parameter] = []
+
+    # -- value access ----------------------------------------------
+
+    @property
+    def value(self):
+        if self._derive is not None:
+            return self._derive(*[p.value for p in self._inputs])
+        return self._value
+
+    def set(self, value) -> None:
+        """Update the value, bumping the version (dirtying dependents)."""
+        if self._derive is not None:
+            raise ValueError(
+                f"parameter {self.name!r} is derived; set its inputs")
+        if self._coerce is not None:
+            value = self._coerce(value)
+        # Explicit None check first: some coerced types (np.dtype)
+        # treat None as a valid comparison partner.
+        if self._value is None or value != self._value:
+            self._value = value
+            self.version += 1
+
+    _coerce: Optional[Callable] = None
+
+    def derive_from(self, inputs: Sequence["Parameter"],
+                    fn: Callable) -> "Parameter":
+        """Make this parameter a pure function of *inputs*."""
+        self._derive = fn
+        self._inputs = list(inputs)
+        return self
+
+    def current_version(self) -> int:
+        """Version including derived inputs."""
+        if self._derive is not None:
+            return sum(p.current_version() for p in self._inputs)
+        return self.version
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name}={self.value!r})"
+
+
+class IntParam(Parameter):
+    """Scalar integer parameter."""
+
+    _coerce = staticmethod(int)
+
+
+class FloatParam(Parameter):
+    """Scalar floating point parameter."""
+
+    _coerce = staticmethod(float)
+
+
+class BooleanParam(Parameter):
+    """True/false parameter."""
+
+    _coerce = staticmethod(bool)
+
+
+class PointerParam(Parameter):
+    """A raw device pointer value."""
+
+    _coerce = staticmethod(int)
+
+
+class TripletParam(Parameter):
+    """Three integers — commonly grid and block dimensions.
+
+    Individual elements are addressable via :meth:`element`.
+    """
+
+    @staticmethod
+    def _coerce(value):
+        if isinstance(value, int):
+            return (value, 1, 1)
+        items = tuple(int(v) for v in value)
+        return items + (1,) * (3 - len(items))
+
+    def element(self, index: int) -> Parameter:
+        p = IntParam(f"{self.name}[{index}]")
+        return p.derive_from([self], lambda t: t[index])
+
+    @property
+    def count(self) -> int:
+        x, y, z = self.value
+        return x * y * z
+
+
+class PairParam(Parameter):
+    """Two integers."""
+
+    @staticmethod
+    def _coerce(value):
+        a, b = value
+        return (int(a), int(b))
+
+    def element(self, index: int) -> Parameter:
+        p = IntParam(f"{self.name}[{index}]")
+        return p.derive_from([self], lambda t: t[index])
+
+
+class TypeParam(Parameter):
+    """A data type (int32, uint8, float32, float64...)."""
+
+    @staticmethod
+    def _coerce(value):
+        return np.dtype(value)
+
+    @property
+    def itemsize(self) -> int:
+        return self.value.itemsize
+
+
+class StepParam(Parameter):
+    """Self-updating parameter iterating a range with a stride.
+
+    ``advance()`` is called by the pipeline after each iteration; the
+    value wraps at the end of the range.
+    """
+
+    def __init__(self, name: str, start: int, stop: int, stride: int = 1):
+        super().__init__(name, int(start))
+        self.start = int(start)
+        self.stop = int(stop)
+        self.stride = int(stride)
+
+    def advance(self) -> None:
+        nxt = self._value + self.stride
+        if (self.stride > 0 and nxt >= self.stop) or \
+                (self.stride < 0 and nxt <= self.stop):
+            nxt = self.start
+        self._value = nxt
+        self.version += 1
+
+
+class MemoryExtent(Parameter):
+    """Geometry (up to three dimensions) and element size of a memory
+    reference.  Value: ``(shape_tuple, element_size)``."""
+
+    def __init__(self, name: str, shape: Sequence[int], elem_size: int):
+        shape = tuple(int(s) for s in shape)
+        super().__init__(name, (shape, int(elem_size)))
+
+    @staticmethod
+    def _coerce(value):
+        shape, elem = value
+        return (tuple(int(s) for s in shape), int(elem))
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value[0]
+
+    @property
+    def elem_size(self) -> int:
+        return self.value[1]
+
+    @property
+    def count(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.elem_size
+
+
+class MemorySubset(Parameter):
+    """Subrange of a memory extent with a per-iteration stride.
+
+    Value: ``(offset_elems, count_elems, stride_elems)``.  The owning
+    subset view advances by ``stride_elems`` each pipeline iteration and
+    wraps when the window would run past the parent extent.
+    """
+
+    def __init__(self, name: str, offset: int, count: int,
+                 stride: int = 0):
+        super().__init__(name, (int(offset), int(count), int(stride)))
+
+    @staticmethod
+    def _coerce(value):
+        o, c, s = value
+        return (int(o), int(c), int(s))
+
+    @property
+    def offset(self) -> int:
+        return self.value[0]
+
+    @property
+    def count(self) -> int:
+        return self.value[1]
+
+    @property
+    def stride(self) -> int:
+        return self.value[2]
+
+
+class Schedule(Parameter):
+    """Period between events and delay before the first occurrence.
+
+    Value: ``(period, delay)``.  An action with schedule (p, d) runs on
+    iterations i where ``i >= d`` and ``(i - d) % p == 0``.
+    """
+
+    def __init__(self, name: str, period: int = 1, delay: int = 0):
+        super().__init__(name, (int(period), int(delay)))
+
+    @staticmethod
+    def _coerce(value):
+        if isinstance(value, int):
+            return (int(value), 0)
+        p, d = value
+        return (int(p), int(d))
+
+    def fires(self, iteration: int) -> bool:
+        period, delay = self.value
+        if iteration < delay or period <= 0:
+            return False
+        return (iteration - delay) % period == 0
+
+
+class ArrayTraits(Parameter):
+    """Properties used by CUDA texture/array memory types.
+
+    Value: dict with keys ``filter`` ('point'|'linear'), ``address``
+    ('clamp'|'wrap'|'border'), ``normalized`` (bool).
+    """
+
+    def __init__(self, name: str, filter: str = "point",
+                 address: str = "clamp", normalized: bool = False):
+        super().__init__(name, self._coerce(
+            {"filter": filter, "address": address,
+             "normalized": bool(normalized)}))
+
+    @staticmethod
+    def _coerce(value):
+        out = {"filter": "point", "address": "clamp", "normalized": False}
+        out.update(value)
+        if out["filter"] not in ("point", "linear"):
+            raise ValueError(f"bad texture filter {out['filter']!r}")
+        if out["address"] not in ("clamp", "wrap", "border"):
+            raise ValueError(f"bad address mode {out['address']!r}")
+        return out

@@ -1,0 +1,295 @@
+"""The GPU-PF pipeline: specification → refresh → execution.
+
+Factory methods build the object graph during specification (nothing
+allocates or compiles); :meth:`Pipeline.refresh` realizes dirty
+resources in creation order (dependencies are created before their
+dependents by construction); :meth:`Pipeline.run` iterates the
+pipeline, firing scheduled actions and advancing step parameters and
+subset windows.  Appendix-G-style log output records what each phase
+did.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.gpupf import actions as act
+from repro.gpupf import params as par
+from repro.gpupf import resources as res
+from repro.gpupf.cache import DEFAULT_CACHE, KernelCache
+
+
+class PipelineError(Exception):
+    """Specification errors (duplicate names, unknown references...)."""
+
+
+class Pipeline:
+    """A GPU-PF application pipeline bound to one simulated device."""
+
+    def __init__(self, gpu, name: str = "pipeline",
+                 cache: Optional[KernelCache] = None,
+                 verbose: bool = False):
+        self.gpu = gpu
+        self.name = name
+        self.cache = cache or DEFAULT_CACHE
+        self.verbose = verbose
+        self.params: Dict[str, par.Parameter] = {}
+        self.resources: Dict[str, res.Resource] = {}
+        self.actions: Dict[str, act.Action] = {}
+        self._subsets: List[res.SubsetMemory] = []
+        self._steps: List[par.StepParam] = []
+        self.iteration = 0
+        self.log: List[str] = []
+        self.refresh_count = 0
+
+    # -- logging -----------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        self.log.append(message)
+        if self.verbose:
+            print(f"[{self.name}] {message}")
+
+    # -- registration helpers ------------------------------------------
+
+    def _add_param(self, p):
+        if p.name in self.params:
+            raise PipelineError(f"duplicate parameter {p.name!r}")
+        self.params[p.name] = p
+        return p
+
+    def _add_resource(self, r):
+        if r.name in self.resources:
+            raise PipelineError(f"duplicate resource {r.name!r}")
+        self.resources[r.name] = r
+        return r
+
+    def _add_action(self, a):
+        if a.name in self.actions:
+            raise PipelineError(f"duplicate action {a.name!r}")
+        self.actions[a.name] = a
+        return a
+
+    # -- parameter factories (Table 4.1) -------------------------------
+
+    def int_param(self, name, value=0):
+        return self._add_param(par.IntParam(name, int(value)))
+
+    def float_param(self, name, value=0.0):
+        return self._add_param(par.FloatParam(name, float(value)))
+
+    def bool_param(self, name, value=False):
+        return self._add_param(par.BooleanParam(name, bool(value)))
+
+    def pointer_param(self, name, value=0):
+        return self._add_param(par.PointerParam(name, int(value)))
+
+    def triplet_param(self, name, value=(1, 1, 1)):
+        p = par.TripletParam(name)
+        p.set(value)
+        return self._add_param(p)
+
+    def pair_param(self, name, value=(0, 0)):
+        p = par.PairParam(name)
+        p.set(value)
+        return self._add_param(p)
+
+    def type_param(self, name, value="float32"):
+        p = par.TypeParam(name)
+        p.set(value)
+        return self._add_param(p)
+
+    def step_param(self, name, start, stop, stride=1):
+        p = self._add_param(par.StepParam(name, start, stop, stride))
+        self._steps.append(p)
+        return p
+
+    def extent_param(self, name, shape, elem_size):
+        return self._add_param(par.MemoryExtent(name, shape, elem_size))
+
+    def subset_param(self, name, offset, count, stride=0):
+        return self._add_param(par.MemorySubset(name, offset, count,
+                                                stride))
+
+    def schedule_param(self, name, period=1, delay=0):
+        return self._add_param(par.Schedule(name, period, delay))
+
+    def array_traits(self, name, **kwargs):
+        return self._add_param(par.ArrayTraits(name, **kwargs))
+
+    def derived_param(self, name, inputs, fn):
+        p = par.IntParam(name)
+        return self._add_param(p.derive_from(list(inputs), fn))
+
+    # -- resource factories (Tables 4.2/4.3) ---------------------------
+
+    def module(self, name, source, defines=None, arch=None, headers=None,
+               opt_level=3):
+        return self._add_resource(res.ModuleResource(
+            name, self, source, defines=defines, arch=arch,
+            headers=headers, opt_level=opt_level))
+
+    def kernel(self, name, module, entry=None):
+        return self._add_resource(res.KernelResource(
+            name, self, module, entry or name))
+
+    def host_memory(self, name, extent, dtype=None):
+        return self._add_resource(res.HostMemory(name, self, extent,
+                                                 dtype))
+
+    def global_memory(self, name, extent):
+        return self._add_resource(res.GlobalMemory(name, self, extent))
+
+    def constant_memory(self, name, module, symbol):
+        return self._add_resource(res.ConstantMemory(name, self, module,
+                                                     symbol))
+
+    def subset(self, name, parent, window, reset_period=0):
+        s = self._add_resource(res.SubsetMemory(name, self, parent,
+                                                window, reset_period))
+        self._subsets.append(s)
+        return s
+
+    def texture(self, name, module, memory, traits=None, symbol=None):
+        return self._add_resource(res.TextureResource(
+            name, self, module, memory, traits, symbol=symbol))
+
+    # -- action factories (Table 4.4) -----------------------------------
+
+    def copy(self, name, src, dst, schedule=None):
+        return self._add_action(act.MemoryCopy(name, self, src, dst,
+                                               schedule))
+
+    def kernel_exec(self, name, kernel, grid, block, args,
+                    dynamic_smem=0, schedule=None, functional=True,
+                    sample_blocks=8):
+        return self._add_action(act.KernelExecution(
+            name, self, kernel, grid, block, args,
+            dynamic_smem=dynamic_smem, schedule=schedule,
+            functional=functional, sample_blocks=sample_blocks))
+
+    def user_function(self, name, fn, schedule=None):
+        return self._add_action(act.UserFunction(name, self, fn,
+                                                 schedule))
+
+    def file_io(self, name, memory, path, mode="read", schedule=None):
+        return self._add_action(act.FileIO(name, self, memory, path,
+                                           mode, schedule))
+
+    # -- phases ---------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Realize every dirty resource; returns how many were touched.
+
+        Resources realize in creation order, which is dependency order
+        because factories require dependencies as constructed objects.
+        """
+        started = time.perf_counter()
+        touched = 0
+        for resource in self.resources.values():
+            if resource.refresh():
+                touched += 1
+                detail = ""
+                if isinstance(resource, res.ModuleResource):
+                    state = "cache hit" if resource.cache_hit \
+                        else "compiled"
+                    detail = (f" [{state}, "
+                              f"{resource.last_compile_seconds * 1e3:.2f}"
+                              " ms]")
+                elif isinstance(resource, res.KernelResource):
+                    k = resource.compiled
+                    detail = (f" [{k.reg_count} regs, "
+                              f"{k.shared_bytes} B smem, "
+                              f"{k.static_instructions} instrs]")
+                elif isinstance(resource, res.GlobalMemory):
+                    detail = f" [{resource.nbytes} B at " \
+                             f"0x{resource.addr:x}]"
+                self._log(f"refresh: {type(resource).__name__} "
+                          f"{resource.name}{detail}")
+        elapsed = time.perf_counter() - started
+        if touched:
+            self.refresh_count += 1
+            self._log(f"refresh: {touched} resources updated in "
+                      f"{elapsed * 1e3:.2f} ms")
+        return touched
+
+    def run(self, iterations: int = 1) -> float:
+        """Execute *iterations* pipeline iterations.
+
+        Returns the simulated seconds spent (kernels + transfers).
+        A refresh happens automatically before the first iteration and
+        after any parameter change.
+        """
+        total = 0.0
+        for _ in range(iterations):
+            self.refresh()
+            for action in self.actions.values():
+                if action.fires(self.iteration):
+                    seconds = action.run(self.iteration)
+                    total += seconds
+                    self._log(f"iter {self.iteration}: {action.name} "
+                              f"({seconds * 1e6:.1f} us sim)")
+            for subset_res in self._subsets:
+                subset_res.advance(self.iteration)
+            for step in self._steps:
+                step.advance()
+            self.iteration += 1
+        return total
+
+    # -- conveniences -----------------------------------------------
+
+    def timing_report(self) -> str:
+        """Per-operation and high-level timing (Appendix G.4-G.7).
+
+        One line per action with run counts, total/mean simulated time,
+        and share of the pipeline total; a summary line splits kernel
+        execution from data movement.
+        """
+        lines = [f"=== {self.name}: per-operation timing "
+                 f"({self.iteration} iterations) ==="]
+        total = self.simulated_seconds() or 1e-30
+        kernel_s = transfer_s = other_s = 0.0
+        for action in self.actions.values():
+            mean = (action.simulated_seconds / action.runs
+                    if action.runs else 0.0)
+            lines.append(
+                f"  {action.name:24s} {type(action).__name__:16s} "
+                f"runs={action.runs:<4d} "
+                f"total={action.simulated_seconds * 1e3:8.3f} ms  "
+                f"mean={mean * 1e6:8.1f} us  "
+                f"{100 * action.simulated_seconds / total:5.1f}%")
+            kind = type(action).__name__
+            if kind == "KernelExecution":
+                kernel_s += action.simulated_seconds
+            elif kind == "MemoryCopy":
+                transfer_s += action.simulated_seconds
+            else:
+                other_s += action.simulated_seconds
+        lines.append(f"=== high-level: kernels {kernel_s * 1e3:.3f} ms "
+                     f"({100 * kernel_s / total:.0f}%), transfers "
+                     f"{transfer_s * 1e3:.3f} ms "
+                     f"({100 * transfer_s / total:.0f}%), total "
+                     f"{total * 1e3:.3f} ms ===")
+        return "\n".join(lines)
+
+    def set_param(self, name: str, value) -> None:
+        try:
+            self.params[name].set(value)
+        except KeyError:
+            raise PipelineError(f"unknown parameter {name!r}") from None
+
+    def simulated_seconds(self) -> float:
+        return sum(a.simulated_seconds for a in self.actions.values())
+
+    def upload(self, memory: res.GlobalMemory, array: np.ndarray) -> None:
+        """Direct host→device write outside the action system."""
+        self.gpu.gmem.write(memory.device_address(),
+                            np.ascontiguousarray(array))
+
+    def download(self, memory: res.GlobalMemory, dtype,
+                 shape) -> np.ndarray:
+        count = int(np.prod(shape))
+        return self.gpu.memcpy_dtoh(memory.device_address(), dtype,
+                                    count).reshape(shape)

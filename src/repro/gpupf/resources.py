@@ -1,0 +1,327 @@
+"""GPU-PF resource types (dissertation Tables 4.2 and 4.3).
+
+Resources realize themselves from parameters during the refresh phase:
+modules compile (through the kernel cache), memories allocate, kernels
+resolve entry points, textures bind.  Each resource remembers the
+parameter versions it was realized against, so refresh touches only
+what changed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.gpupf.params import (ArrayTraits, MemoryExtent, MemorySubset,
+                                Parameter, TypeParam)
+
+
+class ResourceError(Exception):
+    """Specification or realization failure."""
+
+
+class Resource:
+    """Base class: realized from parameters, versioned like them."""
+
+    def __init__(self, name: str, pipeline):
+        self.name = name
+        self.pipeline = pipeline
+        self._param_deps: List[Parameter] = []
+        self._resource_deps: List["Resource"] = []
+        self._seen: Optional[tuple] = None
+        self.version = 0
+
+    def depends_on(self, *deps) -> None:
+        for d in deps:
+            if isinstance(d, Parameter):
+                self._param_deps.append(d)
+            elif isinstance(d, Resource):
+                self._resource_deps.append(d)
+            elif d is not None:
+                raise ResourceError(
+                    f"{self.name}: bad dependency {d!r}")
+
+    def _stamp(self) -> tuple:
+        return (tuple(p.current_version() for p in self._param_deps),
+                tuple(r.version for r in self._resource_deps))
+
+    def dirty(self) -> bool:
+        return self._seen != self._stamp()
+
+    def refresh(self) -> bool:
+        """Realize if dirty; returns True when work was done."""
+        if not self.dirty():
+            return False
+        self.realize()
+        self._seen = self._stamp()
+        self.version += 1
+        return True
+
+    def realize(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def _resolve(value):
+    """Parameter-or-literal -> concrete value."""
+    return value.value if isinstance(value, Parameter) else value
+
+
+class ModuleResource(Resource):
+    """A CUDA module: source compiled with (possibly parametric) -D
+    defines.  Recompiles whenever a referenced parameter changes —
+    this is the kernel-specialization hook."""
+
+    def __init__(self, name: str, pipeline, source: str,
+                 defines: Optional[Mapping[str, object]] = None,
+                 arch: Optional[Union[str, Parameter]] = None,
+                 headers: Optional[Mapping[str, str]] = None,
+                 opt_level: int = 3):
+        super().__init__(name, pipeline)
+        self.source = source
+        self.defines = dict(defines or {})
+        self.arch = arch
+        self.headers = headers
+        self.opt_level = opt_level
+        self.module = None
+        self.last_compile_seconds = 0.0
+        self.cache_hit = False
+        for value in self.defines.values():
+            if isinstance(value, Parameter):
+                self.depends_on(value)
+        if isinstance(arch, Parameter):
+            self.depends_on(arch)
+
+    def resolved_defines(self) -> Dict[str, object]:
+        return {k: _resolve(v) for k, v in self.defines.items()}
+
+    def realize(self) -> None:
+        arch = _resolve(self.arch) if self.arch is not None \
+            else self.pipeline.gpu.spec.arch
+        cache = self.pipeline.cache
+        before = (cache.hits, cache.misses)
+        self.module = cache.compile(
+            self.source, defines=self.resolved_defines(), arch=arch,
+            opt_level=self.opt_level, headers=self.headers)
+        self.cache_hit = cache.hits > before[0]
+        self.last_compile_seconds = self.module.compile_seconds
+
+
+class KernelResource(Resource):
+    """An entry point within a module."""
+
+    def __init__(self, name: str, pipeline, module: ModuleResource,
+                 entry: str):
+        super().__init__(name, pipeline)
+        self.module_res = module
+        self.entry = entry
+        self.compiled = None
+        self.depends_on(module)
+
+    def realize(self) -> None:
+        if self.module_res.module is None:
+            raise ResourceError(
+                f"kernel {self.name}: module not realized")
+        self.compiled = self.module_res.module.kernel(self.entry)
+
+    @property
+    def reg_count(self) -> int:
+        return self.compiled.reg_count if self.compiled else 0
+
+
+class MemoryResource(Resource):
+    """Common interface for every memory kind (Table 4.3)."""
+
+    kind = "abstract"
+
+    @property
+    def nbytes(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def device_address(self) -> int:
+        raise ResourceError(f"{self.name} has no device address")
+
+
+class HostMemory(MemoryResource):
+    """Host-side buffer (malloc'd / pinned — one NumPy array here)."""
+
+    kind = "host"
+
+    def __init__(self, name: str, pipeline, extent: MemoryExtent,
+                 dtype: Optional[Union[np.dtype, TypeParam]] = None):
+        super().__init__(name, pipeline)
+        self.extent = extent
+        self.dtype_param = dtype
+        self.array: Optional[np.ndarray] = None
+        self.depends_on(extent)
+        if isinstance(dtype, Parameter):
+            self.depends_on(dtype)
+
+    def _dtype(self) -> np.dtype:
+        if self.dtype_param is not None:
+            return np.dtype(_resolve(self.dtype_param))
+        return np.dtype(f"V{self.extent.elem_size}") \
+            if self.extent.elem_size not in (1, 2, 4, 8) \
+            else {1: np.uint8, 2: np.uint16, 4: np.float32,
+                  8: np.float64}[self.extent.elem_size]
+
+    def realize(self) -> None:
+        self.array = np.zeros(self.extent.shape, dtype=self._dtype())
+
+    @property
+    def nbytes(self) -> int:
+        return self.extent.nbytes
+
+
+class GlobalMemory(MemoryResource):
+    """Device global memory (pitched/linear)."""
+
+    kind = "global"
+
+    def __init__(self, name: str, pipeline, extent: MemoryExtent):
+        super().__init__(name, pipeline)
+        self.extent = extent
+        self.addr: Optional[int] = None
+        self.depends_on(extent)
+
+    def realize(self) -> None:
+        if self.addr is not None:
+            self.pipeline.gpu.free(self.addr)
+        self.addr = self.pipeline.gpu.malloc(max(self.extent.nbytes, 1))
+
+    def device_address(self) -> int:
+        if self.addr is None:
+            raise ResourceError(f"{self.name}: not realized yet")
+        return self.addr
+
+    @property
+    def nbytes(self) -> int:
+        return self.extent.nbytes
+
+
+class ConstantMemory(MemoryResource):
+    """A module's __constant__ symbol."""
+
+    kind = "const"
+
+    def __init__(self, name: str, pipeline, module: ModuleResource,
+                 symbol: str):
+        super().__init__(name, pipeline)
+        self.module_res = module
+        self.symbol = symbol
+        self.depends_on(module)
+
+    def realize(self) -> None:
+        decl = self.module_res.module.ir.const_globals.get(self.symbol)
+        if decl is None:
+            raise ResourceError(
+                f"{self.name}: module has no constant {self.symbol!r}")
+        self._decl = decl
+
+    @property
+    def nbytes(self) -> int:
+        return self._decl.nbytes
+
+
+class SubsetMemory(MemoryResource):
+    """A moving window over another memory reference.
+
+    Usable anywhere a full reference is; advances by its subset
+    parameter's stride each pipeline iteration, wrapping at the parent's
+    end (Table 4.3 "Can move subset through the full memory reference
+    over time" — this is how frame sequences stream through a fixed
+    device allocation).
+    """
+
+    def __init__(self, name: str, pipeline, parent: MemoryResource,
+                 subset: MemorySubset, reset_period: int = 0):
+        super().__init__(name, pipeline)
+        self.parent = parent
+        self.subset = subset
+        self.reset_period = reset_period
+        self._iteration_offset = 0
+        self.depends_on(parent, subset)
+
+    @property
+    def kind(self):
+        return self.parent.kind
+
+    def realize(self) -> None:
+        self._iteration_offset = 0
+
+    def advance(self, iteration: int) -> None:
+        if self.reset_period and iteration % self.reset_period == 0:
+            self._iteration_offset = 0
+            return
+        self._iteration_offset += self.subset.stride
+
+    def _elem_size(self) -> int:
+        return self.parent.extent.elem_size
+
+    def current_offset_elems(self) -> int:
+        total = self.parent.extent.count
+        count = self.subset.count
+        offset = self.subset.offset + self._iteration_offset
+        if count > total:
+            raise ResourceError(
+                f"{self.name}: window larger than parent")
+        limit = total - count
+        return offset % (limit + 1) if limit else 0
+
+    def device_address(self) -> int:
+        return (self.parent.device_address()
+                + self.current_offset_elems() * self._elem_size())
+
+    @property
+    def array(self) -> np.ndarray:
+        flat = self.parent.array.reshape(-1)
+        start = self.current_offset_elems()
+        return flat[start : start + self.subset.count]
+
+    @property
+    def nbytes(self) -> int:
+        return self.subset.count * self._elem_size()
+
+
+class TextureResource(Resource):
+    """A texture reference bound to a memory reference.
+
+    Realization performs the actual ``cudaBindTexture[2D]`` against the
+    module's declared texture symbol, with the traits parameter
+    supplying filter/addressing modes (Table 4.1's ArrayTraits).
+    """
+
+    def __init__(self, name: str, pipeline, module: ModuleResource,
+                 memory: MemoryResource,
+                 traits: Optional[ArrayTraits] = None,
+                 symbol: Optional[str] = None):
+        super().__init__(name, pipeline)
+        self.module_res = module
+        self.memory = memory
+        self.traits = traits
+        self.symbol = symbol or name
+        self.depends_on(module, memory)
+        if traits is not None:
+            self.depends_on(traits)
+
+    def realize(self) -> None:
+        if self.memory.kind != "global":
+            raise ResourceError(
+                f"texture {self.name}: can only bind global memory, "
+                f"not {self.memory.kind}")
+        module = self.module_res.module
+        if module is None:
+            raise ResourceError(
+                f"texture {self.name}: module not realized")
+        shape = self.memory.extent.shape
+        width = shape[-1]
+        height = shape[0] if len(shape) > 1 else 1
+        traits = self.traits.value if self.traits is not None else {
+            "filter": "point", "address": "clamp", "normalized": False}
+        self.pipeline.gpu.bind_texture(
+            module, self.symbol, self.memory.device_address(),
+            width=width, height=height,
+            address=traits["address"], filter=traits["filter"])
+
+    def device_address(self) -> int:
+        return self.memory.device_address()

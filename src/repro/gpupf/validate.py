@@ -1,0 +1,107 @@
+"""Validation and parameterization harness (the §4.4.2 MATLAB tool).
+
+The dissertation paired GPU-PF with a MATLAB-based tool that verified
+GPU outputs against reference code, explored parameterizations, and
+collected performance data.  This module is its Python equivalent:
+compare any pipeline/kernel output against a reference function over a
+set of parameter points, producing a pass/fail report with error
+statistics and timing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ValidationCase:
+    """One compared parameter point."""
+
+    label: str
+    passed: bool
+    max_abs_err: float
+    max_rel_err: float
+    ref_seconds: float
+    gpu_seconds: float
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate over all compared points."""
+
+    cases: List[ValidationCase] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.cases) and all(c.passed for c in self.cases)
+
+    @property
+    def failures(self) -> List[ValidationCase]:
+        return [c for c in self.cases if not c.passed]
+
+    def summary(self) -> str:
+        lines = [f"validation: {len(self.cases)} cases, "
+                 f"{len(self.failures)} failures"]
+        for c in self.cases:
+            status = "PASS" if c.passed else "FAIL"
+            lines.append(
+                f"  [{status}] {c.label}: max|err|={c.max_abs_err:.3g} "
+                f"rel={c.max_rel_err:.3g} "
+                f"(ref {c.ref_seconds * 1e3:.1f} ms, "
+                f"gpu-sim {c.gpu_seconds * 1e6:.1f} us){c.detail}")
+        return "\n".join(lines)
+
+
+class Validator:
+    """Runs implementation-vs-reference comparisons over parameters.
+
+    Args:
+        run_gpu: ``params -> (ndarray, simulated_seconds)``.
+        run_reference: ``params -> ndarray``.
+        atol / rtol: acceptance tolerances (fp32 pipelines typically
+            need ~1e-4 absolute on normalized data).
+    """
+
+    def __init__(self, run_gpu: Callable, run_reference: Callable,
+                 atol: float = 1e-4, rtol: float = 1e-4):
+        self.run_gpu = run_gpu
+        self.run_reference = run_reference
+        self.atol = atol
+        self.rtol = rtol
+
+    def check(self, params: dict,
+              label: Optional[str] = None) -> ValidationCase:
+        label = label or ", ".join(f"{k}={v}" for k, v in params.items())
+        t0 = time.perf_counter()
+        expected = np.asarray(self.run_reference(params))
+        ref_seconds = time.perf_counter() - t0
+        got, gpu_seconds = self.run_gpu(params)
+        got = np.asarray(got)
+        if got.shape != expected.shape:
+            return ValidationCase(
+                label=label, passed=False, max_abs_err=float("inf"),
+                max_rel_err=float("inf"), ref_seconds=ref_seconds,
+                gpu_seconds=gpu_seconds,
+                detail=f" shape {got.shape} != {expected.shape}")
+        abs_err = np.abs(got.astype(np.float64)
+                         - expected.astype(np.float64))
+        scale = np.maximum(np.abs(expected.astype(np.float64)), 1e-30)
+        max_abs = float(abs_err.max()) if abs_err.size else 0.0
+        max_rel = float((abs_err / scale).max()) if abs_err.size else 0.0
+        passed = bool(np.allclose(got, expected, atol=self.atol,
+                                  rtol=self.rtol))
+        return ValidationCase(label=label, passed=passed,
+                              max_abs_err=max_abs, max_rel_err=max_rel,
+                              ref_seconds=ref_seconds,
+                              gpu_seconds=gpu_seconds)
+
+    def sweep(self, param_points: Iterable[dict]) -> ValidationReport:
+        report = ValidationReport()
+        for params in param_points:
+            report.cases.append(self.check(params))
+        return report

@@ -1,0 +1,17 @@
+"""gpusim — a SIMT GPU simulator standing in for the paper's hardware.
+
+Executes :mod:`repro.kernelc` IR the way CUDA hardware executes SASS:
+warps of 32 lanes in lockstep with IPDOM-stack divergence, block-shared
+memory with bank-conflict accounting, global memory with per-compute-
+capability coalescing rules, an occupancy calculator, and a cycle-level
+analytical timing model.  Two device models mirror the dissertation's
+testbeds: the Tesla C1060 (compute capability 1.3) and the Tesla C2070
+(compute capability 2.0).
+"""
+
+from repro.gpusim.device import DeviceSpec, TESLA_C1060, TESLA_C2070
+from repro.gpusim.launcher import GPU, LaunchResult
+from repro.gpusim.occupancy import OccupancyError, occupancy
+
+__all__ = ["DeviceSpec", "TESLA_C1060", "TESLA_C2070", "GPU",
+           "LaunchResult", "occupancy", "OccupancyError"]

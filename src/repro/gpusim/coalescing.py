@@ -1,0 +1,81 @@
+"""Memory-transaction models: global coalescing and shared banks.
+
+These per-compute-capability rules are the reason kernel configuration
+matters so much on real hardware, and they drive the simulator's timing:
+
+* **CC 1.2/1.3** coalesce per *half-warp*: the hardware issues one
+  transaction per distinct aligned 128-byte segment touched (64 B for
+  2-byte, 32 B for 1-byte accesses).
+* **CC 2.x** issues one transaction per distinct 128-byte cache line
+  touched by the full warp.
+* **Shared memory** has 16 banks serviced per half-warp on CC 1.x and
+  32 banks per warp on CC 2.x; the access replays once per additional
+  distinct word mapped to the same bank (same-word access broadcasts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+
+
+def global_transactions(addrs: np.ndarray, mask: np.ndarray,
+                        itemsize: int, device: DeviceSpec) -> int:
+    """Number of DRAM transactions for one warp-wide access.
+
+    Args:
+        addrs: per-lane byte addresses (device addresses).
+        mask: active lanes.
+        itemsize: access size in bytes.
+        device: target device (selects the CC rule set).
+    """
+    if not mask.any():
+        return 0
+    active = addrs[mask].astype(np.int64)
+    if device.compute_capability[0] >= 2:
+        lines = active // 128
+        if itemsize > 1:
+            lines = np.concatenate([lines,
+                                    (active + itemsize - 1) // 128])
+        return int(np.unique(lines).size)
+    # CC 1.3: per half-warp segments.
+    segment = {1: 32, 2: 64}.get(itemsize, 128)
+    lanes = np.nonzero(mask)[0]
+    total = 0
+    for half in (lanes[lanes < 16], lanes[lanes >= 16]):
+        if half.size == 0:
+            continue
+        a = addrs[half].astype(np.int64)
+        segs = a // segment
+        if itemsize > 1:
+            segs = np.concatenate([segs, (a + itemsize - 1) // segment])
+        total += int(np.unique(segs).size)
+    return total
+
+
+def shared_conflict_factor(addrs: np.ndarray, mask: np.ndarray,
+                           itemsize: int, device: DeviceSpec) -> int:
+    """Replay factor for one warp-wide shared-memory access (≥ 1).
+
+    The factor is the maximum, over banks, of the number of *distinct*
+    32-bit words that the active lanes address within that bank; lanes
+    reading the same word broadcast.  CC 1.x services half-warps
+    against 16 banks; CC 2.x full warps against 32 banks.
+    """
+    if not mask.any():
+        return 1
+    banks = device.shared_banks
+    worst = 1
+    if device.compute_capability[0] >= 2:
+        groups = (addrs[mask],)
+    else:
+        lanes = np.nonzero(mask)[0]
+        groups = (addrs[lanes[lanes < 16]], addrs[lanes[lanes >= 16]])
+    for group in groups:
+        if group.size == 0:
+            continue
+        words = np.unique(group.astype(np.int64) // 4)
+        counts = np.bincount(words % banks, minlength=1)
+        worst = max(worst, int(counts.max()))
+    return worst

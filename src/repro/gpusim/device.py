@@ -1,0 +1,176 @@
+"""Device models for the two GPU generations the dissertation evaluates.
+
+The parameters come from the dissertation's Tables 2.1/2.2 and NVIDIA's
+published specifications.  Instruction issue costs are expressed as
+*cycles the SM's issue pipeline is occupied per warp-instruction*; they
+encode the architectural contrasts the dissertation calls out in §2.4:
+
+* 32-bit integer multiply is slow on CC 1.3 (16 cycles — multi-
+  instruction) while ``__mul24`` is fast (4); on CC 2.0 (Fermi) the
+  relationship *inverts* (native 2-cycle 32-bit multiply, emulated
+  mul24).
+* Shared-memory throughput relative to the register file decreases from
+  CC 1.3 to CC 2.0, "putting additional emphasis on effective use of the
+  register file in newer GPUs".
+* Integer division/modulus are expensive emulated sequences on both —
+  which is what strength reduction buys its speedup from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a simulated CUDA device.
+
+    Attributes:
+        issue_cost: cycles per warp-instruction by cost class (see
+            :func:`cost_class`).
+        mem_latency: global-memory round-trip latency in cycles.
+        bytes_per_cycle_per_sm: global-memory bandwidth share of one SM,
+            in bytes per core clock.
+        reg_alloc_unit: register-file allocation granularity
+            (per-block on CC 1.x, per-warp on CC 2.x — the calculator
+            handles both through :attr:`reg_alloc_per_warp`).
+    """
+
+    name: str
+    compute_capability: Tuple[int, int]
+    sm_count: int
+    clock_ghz: float
+    mem_bandwidth_gbs: float
+    regs_per_sm: int
+    smem_per_sm: int
+    max_threads_per_block: int
+    max_warps_per_sm: int
+    max_blocks_per_sm: int
+    shared_banks: int
+    reg_alloc_unit: int
+    reg_alloc_per_warp: bool
+    smem_alloc_unit: int
+    max_regs_per_thread: int
+    const_bytes: int = 65536
+    warp_size: int = 32
+    mem_latency: int = 450
+    issue_cost: Dict[str, float] = field(default_factory=dict)
+    #: Cycles one global-memory transaction occupies the SM's LSU path.
+    mem_issue_cost: float = 4.0
+    #: Kernel launch overhead, microseconds.
+    launch_overhead_us: float = 7.0
+
+    @property
+    def bytes_per_cycle_per_sm(self) -> float:
+        return self.mem_bandwidth_gbs * 1e9 / (self.sm_count
+                                               * self.clock_ghz * 1e9)
+
+    @property
+    def arch(self) -> str:
+        major, minor = self.compute_capability
+        return f"sm_{major}{minor}"
+
+
+#: Issue-cost classes (cycles per warp-instruction).
+_COSTS_CC13 = {
+    "alu": 4.0,        # fp32/int add, sub, logic, shift, mov, cvt, setp
+    "fmul": 4.0,       # fp32 mul / mad / fma
+    "imul": 16.0,      # 32-bit integer multiply: emulated, slow
+    "mul24": 4.0,      # 24-bit multiply: native, fast
+    "idiv": 140.0,     # integer divide/modulus: long emulated sequence
+    "fdiv": 36.0,      # fp32 divide
+    "fdiv_approx": 20.0,   # __fdividef
+    "sfu": 16.0,       # sqrt, rsqrt, sin, cos, exp2, lg2
+    "f64": 32.0,       # double precision at 1/8 rate
+    "shared": 4.0,     # shared-memory access (per conflict-free access)
+    "bar": 8.0,
+    "atom": 64.0,
+}
+
+# Fermi SMs have 32 cores and dual warp schedulers: one warp-instruction
+# per cycle for the common case, so costs are in units of 1.
+_COSTS_CC20 = {
+    "alu": 1.0,
+    "fmul": 1.0,
+    "imul": 2.0,       # native 32-bit multiply on Fermi
+    "mul24": 4.0,      # emulated on Fermi — the inversion the paper notes
+    "idiv": 60.0,
+    "fdiv": 12.0,
+    "fdiv_approx": 6.0,
+    "sfu": 4.0,
+    "f64": 2.0,        # 1/2 rate on Tesla-class Fermi
+    "shared": 2.0,     # relatively slower vs registers than on CC 1.3
+    "bar": 4.0,
+    "atom": 20.0,
+}
+
+
+TESLA_C1060 = DeviceSpec(
+    name="Tesla C1060",
+    compute_capability=(1, 3),
+    sm_count=30,
+    clock_ghz=1.296,
+    mem_bandwidth_gbs=102.0,
+    regs_per_sm=16384,
+    smem_per_sm=16384,
+    max_threads_per_block=512,
+    max_warps_per_sm=32,
+    max_blocks_per_sm=8,
+    shared_banks=16,
+    reg_alloc_unit=512,
+    reg_alloc_per_warp=False,
+    smem_alloc_unit=512,
+    max_regs_per_thread=124,
+    mem_latency=500,
+    issue_cost=_COSTS_CC13,
+    mem_issue_cost=4.0,
+)
+
+TESLA_C2070 = DeviceSpec(
+    name="Tesla C2070",
+    compute_capability=(2, 0),
+    sm_count=14,
+    clock_ghz=1.15,
+    mem_bandwidth_gbs=144.0,
+    regs_per_sm=32768,
+    smem_per_sm=49152,
+    max_threads_per_block=1024,
+    max_warps_per_sm=48,
+    max_blocks_per_sm=8,
+    shared_banks=32,
+    reg_alloc_unit=64,
+    reg_alloc_per_warp=True,
+    smem_alloc_unit=128,
+    max_regs_per_thread=63,
+    mem_latency=400,
+    issue_cost=_COSTS_CC20,
+    mem_issue_cost=1.0,
+)
+
+DEVICES = {"c1060": TESLA_C1060, "c2070": TESLA_C2070}
+
+
+def cost_class(op: str, dtype, cmp: str = "") -> str:
+    """Map an IR instruction to its issue-cost class."""
+    is_f64 = getattr(dtype, "kind", "") == "float" and dtype.bits == 64
+    if is_f64 and op in ("add", "sub", "mul", "mad", "fma", "div", "neg",
+                         "min", "max", "abs", "sqrt"):
+        return "f64"
+    if op in ("mul", "mad", "fma", "mulhi"):
+        if getattr(dtype, "kind", "") == "float":
+            return "fmul"
+        return "imul"
+    if op == "mul24":
+        return "mul24"
+    if op in ("div", "rem"):
+        if getattr(dtype, "kind", "") == "float":
+            return "fdiv_approx" if cmp == "approx" else "fdiv"
+        return "idiv"
+    if op in ("sqrt", "rsqrt", "rcp", "sin", "cos", "exp2", "lg2"):
+        return "sfu"
+    if op == "bar":
+        return "bar"
+    if op == "atom":
+        return "atom"
+    return "alu"

@@ -1,0 +1,241 @@
+"""Device front-end: memory management and kernel launching.
+
+:class:`GPU` is the simulated equivalent of a CUDA context on one
+device: allocate and copy memory, bind constant symbols, and launch
+compiled kernels over a grid.  Launches validate the configuration
+against the occupancy calculator (as the real runtime's launch-failure
+checks would) and return both functional effects (in device memory) and
+a :class:`~repro.gpusim.timing.Timing` estimate.
+
+For large parameter sweeps, ``sample_blocks`` executes a representative
+subset of the grid and extrapolates timing; ``functional=True`` (the
+default) executes every block so outputs can be validated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.executor import (BlockExecutor, BlockStats, KernelPlan,
+                                   SimError, TextureBinding)
+from repro.gpusim.memory import FlatMemory, GlobalMemory
+from repro.gpusim.occupancy import Occupancy, occupancy
+from repro.gpusim.timing import Timing, kernel_timing
+from repro.kernelc import typesys as T
+from repro.kernelc.compiler import CompiledKernel, CompiledModule
+
+Dim = Union[int, Tuple[int, ...]]
+
+
+def _as_dim3(value: Dim) -> Tuple[int, int, int]:
+    if isinstance(value, int):
+        return (value, 1, 1)
+    items = tuple(int(v) for v in value)
+    return items + (1,) * (3 - len(items))
+
+
+@dataclass
+class LaunchResult:
+    """Everything a launch produced."""
+
+    timing: Timing
+    occupancy: Occupancy
+    grid: Tuple[int, int, int]
+    block: Tuple[int, int, int]
+    blocks_executed: int
+    stats: List[BlockStats] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return self.timing.seconds
+
+    @property
+    def cycles(self) -> float:
+        return self.timing.cycles
+
+    @property
+    def instructions(self) -> int:
+        return sum(s.instructions for s in self.stats)
+
+
+class GPU:
+    """A simulated CUDA device context."""
+
+    def __init__(self, spec: DeviceSpec = TESLA_C2070,
+                 memory_bytes: int = 256 * 1024 * 1024):
+        self.spec = spec
+        self.gmem = GlobalMemory(memory_bytes)
+        self._const: Dict[int, FlatMemory] = {}
+        self._textures: Dict[tuple, TextureBinding] = {}
+
+    # -- memory API ------------------------------------------------
+
+    def malloc(self, nbytes: int) -> int:
+        return self.gmem.alloc(nbytes)
+
+    def alloc_array(self, array: np.ndarray) -> int:
+        """Allocate and copy a host array to the device."""
+        addr = self.gmem.alloc(array.nbytes)
+        self.gmem.write(addr, array)
+        return addr
+
+    def zeros(self, count: int, dtype) -> int:
+        """Allocate a zero-initialized typed buffer."""
+        dtype = np.dtype(dtype)
+        addr = self.gmem.alloc(count * dtype.itemsize)
+        self.gmem.write(addr, np.zeros(count, dtype=dtype))
+        return addr
+
+    def memcpy_htod(self, addr: int, array: np.ndarray) -> None:
+        self.gmem.write(addr, array)
+
+    def memcpy_dtoh(self, addr: int, dtype, count: int) -> np.ndarray:
+        return self.gmem.read(addr, dtype, count)
+
+    def free(self, addr: int) -> None:
+        self.gmem.free(addr)
+
+    def reset(self) -> None:
+        self.gmem.reset()
+        self._const.clear()
+
+    def memcpy_to_symbol(self, module: CompiledModule, name: str,
+                         array: np.ndarray) -> None:
+        """cudaMemcpyToSymbol: fill a module's __constant__ symbol."""
+        decl = module.ir.const_globals.get(name)
+        if decl is None:
+            raise SimError(f"module has no constant symbol {name!r}")
+        cmem = self._const_mem(module)
+        raw = np.ascontiguousarray(array)
+        if raw.nbytes > decl.nbytes:
+            raise SimError(
+                f"constant symbol {name!r} holds {decl.nbytes} bytes, "
+                f"got {raw.nbytes}")
+        cmem.write(decl.offset, raw)
+
+    def bind_texture(self, module: CompiledModule, name: str,
+                     addr: int, width: int, height: int = 1,
+                     dtype=np.float32, address: str = "clamp",
+                     filter: str = "point") -> None:
+        """cudaBindTexture[2D]: attach device memory to a texture ref.
+
+        The texture must be declared in *module*
+        (``texture<float, 2> name;``); traits mirror the CUDA address
+        mode (clamp/wrap/border) and filter mode (point/linear).
+        """
+        ref = module.ir.textures.get(name)
+        if ref is None:
+            raise SimError(f"module has no texture reference {name!r}")
+        if ref.dims == 1 and height > 1:
+            raise SimError(f"texture {name!r} is 1D")
+        if address not in ("clamp", "wrap", "border"):
+            raise SimError(f"bad address mode {address!r}")
+        if filter not in ("point", "linear"):
+            raise SimError(f"bad filter mode {filter!r}")
+        self._textures[(id(module), name)] = TextureBinding(
+            addr=int(addr), width=int(width), height=int(height),
+            np_dtype=np.dtype(dtype), address=address, filter=filter)
+
+    def _const_mem(self, module: CompiledModule) -> FlatMemory:
+        key = id(module)
+        if key not in self._const:
+            if module.const_bytes > self.spec.const_bytes:
+                raise SimError(
+                    f"module needs {module.const_bytes} bytes of "
+                    f"constant memory; device has "
+                    f"{self.spec.const_bytes} (§2.4 limit)")
+            self._const[key] = FlatMemory(
+                max(module.const_bytes, 1), "const")
+        return self._const[key]
+
+    # -- launching -------------------------------------------------
+
+    def launch(self, kernel: CompiledKernel, grid: Dim, block: Dim,
+               args: Sequence[object],
+               dynamic_smem: int = 0,
+               functional: bool = True,
+               sample_blocks: int = 8) -> LaunchResult:
+        """Launch *kernel* over *grid* × *block*.
+
+        Args:
+            kernel: a :class:`CompiledKernel` from :func:`nvcc`.
+            grid: grid dimensions (int or up-to-3 tuple).
+            block: block dimensions.
+            args: one value per kernel parameter (device addresses for
+                pointers, Python numbers for scalars).
+            dynamic_smem: extra dynamically-allocated shared memory.
+            functional: execute every block (needed to validate
+                outputs).  When False, only ``sample_blocks`` spread
+                across the grid run, and timing is extrapolated.
+            sample_blocks: number of blocks to execute when not
+                functional.
+
+        Raises:
+            SimError / OccupancyError: invalid configuration or a
+                runtime fault in the kernel.
+        """
+        grid3 = _as_dim3(grid)
+        block3 = _as_dim3(block)
+        params = kernel.ir.params
+        if len(args) != len(params):
+            raise SimError(
+                f"kernel {kernel.name!r} takes {len(params)} arguments "
+                f"({[p[0] for p in params]}), got {len(args)}")
+        arg_map: Dict[str, object] = {}
+        for (name, ctype), value in zip(params, args):
+            arg_map[name] = _convert_arg(name, ctype, value)
+        smem_per_block = kernel.shared_bytes + dynamic_smem
+        occ = occupancy(self.spec, block3[0] * block3[1] * block3[2],
+                        kernel.reg_count, smem_per_block)
+        cmem = self._const_mem(kernel.module)
+        plan = KernelPlan(kernel.ir, self.spec)
+        total_blocks = grid3[0] * grid3[1] * grid3[2]
+        if total_blocks == 0:
+            raise SimError("empty grid")
+        indices = _block_indices(grid3, total_blocks, functional,
+                                 sample_blocks)
+        textures = {name: binding
+                    for (mod_id, name), binding in self._textures.items()
+                    if mod_id == id(kernel.module)}
+        stats: List[BlockStats] = []
+        for bidx in indices:
+            executor = BlockExecutor(
+                kernel.ir, self.spec, self.gmem, cmem, arg_map,
+                block_idx=bidx, block_dim=block3, grid_dim=grid3,
+                dynamic_smem=dynamic_smem, plan=plan,
+                textures=textures)
+            stats.append(executor.run())
+        timing = kernel_timing(self.spec, occ, total_blocks, stats)
+        return LaunchResult(timing=timing, occupancy=occ, grid=grid3,
+                            block=block3, blocks_executed=len(indices),
+                            stats=stats)
+
+
+def _block_indices(grid3, total_blocks, functional, sample_blocks):
+    gx, gy, gz = grid3
+    if functional or total_blocks <= sample_blocks:
+        return [(x, y, z)
+                for z in range(gz) for y in range(gy) for x in range(gx)]
+    # Spread samples across the grid so edge effects are represented.
+    picks = np.linspace(0, total_blocks - 1, sample_blocks).astype(int)
+    out = []
+    for linear in dict.fromkeys(int(p) for p in picks):
+        z, rem = divmod(linear, gx * gy)
+        y, x = divmod(rem, gx)
+        out.append((x, y, z))
+    return out
+
+
+def _convert_arg(name: str, ctype, value):
+    if T.is_pointer(ctype):
+        return int(value)
+    if ctype.is_float:
+        return float(value)
+    if ctype.is_integer:
+        return T.convert_const(int(value), ctype)
+    raise SimError(f"cannot pass argument {name!r} of type {ctype}")

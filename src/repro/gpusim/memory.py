@@ -1,0 +1,155 @@
+"""Simulated device memories.
+
+Global memory is one flat byte buffer with a bump allocator; addresses
+handed to kernels are plain integers, so specialized kernels can bake
+pointer values in as immediates exactly as the dissertation does
+(``PTR_IN``/``PTR_OUT`` in Listing 4.2).  Shared, constant, and local
+memories are separate small buffers with the same typed-view access
+discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class MemoryError_(Exception):
+    """Out-of-bounds, misaligned, or exhausted-memory access."""
+
+
+class GlobalMemory:
+    """The device's DRAM.
+
+    Addresses start at a non-zero base so that a stray zero pointer
+    faults instead of silently reading allocation zero.
+    """
+
+    _BASE = 0x0200000000  # mirrors the 0x2xxxxxxxx pointers of Appendix D
+
+    def __init__(self, size: int = 256 * 1024 * 1024):
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+        self._cursor = 0
+        self._views: Dict[str, np.ndarray] = {}
+        self.allocations: Dict[int, int] = {}
+
+    def alloc(self, nbytes: int, align: int = 256) -> int:
+        """cudaMalloc: returns a device address."""
+        if nbytes <= 0:
+            raise MemoryError_(f"bad allocation size {nbytes}")
+        start = (self._cursor + align - 1) // align * align
+        if start + nbytes > self.size:
+            raise MemoryError_(
+                f"device out of memory: wanted {nbytes} bytes, "
+                f"{self.size - self._cursor} free")
+        self._cursor = start + nbytes
+        addr = self._BASE + start
+        self.allocations[addr] = nbytes
+        return addr
+
+    def free(self, addr: int) -> None:
+        """cudaFree.  The bump allocator does not reuse space."""
+        self.allocations.pop(addr, None)
+
+    def reset(self) -> None:
+        """Release everything (between benchmark problems)."""
+        self._cursor = 0
+        self.allocations.clear()
+        self.data[:] = 0
+
+    def _offset(self, addr: int, nbytes: int) -> int:
+        offset = addr - self._BASE
+        if offset < 0 or offset + nbytes > self.size:
+            raise MemoryError_(
+                f"global access out of bounds: addr=0x{addr:x} "
+                f"({nbytes} bytes)")
+        return offset
+
+    def write(self, addr: int, array: np.ndarray) -> None:
+        """cudaMemcpy host→device."""
+        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        offset = self._offset(addr, raw.size)
+        self.data[offset : offset + raw.size] = raw
+
+    def read(self, addr: int, dtype, count: int) -> np.ndarray:
+        """cudaMemcpy device→host."""
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * count
+        offset = self._offset(addr, nbytes)
+        return self.data[offset : offset + nbytes].view(dtype).copy()
+
+    def view(self, dtype) -> np.ndarray:
+        """A typed full-buffer view for gather/scatter lane access."""
+        key = np.dtype(dtype).str
+        if key not in self._views:
+            self._views[key] = self.data.view(dtype)
+        return self._views[key]
+
+    def element_index(self, addrs: np.ndarray, itemsize: int,
+                      mask: np.ndarray) -> np.ndarray:
+        """Convert lane byte addresses to element indices, validated."""
+        offsets = addrs.astype(np.int64) - self._BASE
+        active = offsets[mask]
+        if active.size:
+            if (active < 0).any() or \
+                    (active + itemsize > self.size).any():
+                bad = int(addrs[mask][((active < 0)
+                                       | (active + itemsize
+                                          > self.size)).argmax()])
+                raise MemoryError_(
+                    f"global access out of bounds: addr=0x{bad:x}")
+            if (active % itemsize).any():
+                raise MemoryError_(
+                    "misaligned global access "
+                    f"(itemsize {itemsize})")
+        safe = np.where(mask, offsets, 0)
+        return safe // itemsize
+
+
+class FlatMemory:
+    """Shared / constant / local memory: a small flat byte buffer."""
+
+    def __init__(self, size: int, label: str):
+        self.size = size
+        self.label = label
+        self.data = np.zeros(size, dtype=np.uint8)
+        self._views: Dict[str, np.ndarray] = {}
+
+    def view(self, dtype) -> np.ndarray:
+        key = np.dtype(dtype).str
+        if key not in self._views:
+            self._views[key] = self.data.view(dtype)
+        return self._views[key]
+
+    def write(self, offset: int, array: np.ndarray) -> None:
+        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        if offset < 0 or offset + raw.size > self.size:
+            raise MemoryError_(
+                f"{self.label} write out of bounds at {offset}")
+        self.data[offset : offset + raw.size] = raw
+
+    def read(self, offset: int, dtype, count: int) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * count
+        if offset < 0 or offset + nbytes > self.size:
+            raise MemoryError_(
+                f"{self.label} read out of bounds at {offset}")
+        return self.data[offset : offset + nbytes].view(dtype).copy()
+
+    def element_index(self, addrs: np.ndarray, itemsize: int,
+                      mask: np.ndarray) -> np.ndarray:
+        offsets = addrs.astype(np.int64)
+        active = offsets[mask]
+        if active.size:
+            if (active < 0).any() or \
+                    (active + itemsize > self.size).any():
+                raise MemoryError_(
+                    f"{self.label} access out of bounds "
+                    f"(size {self.size})")
+            if (active % itemsize).any():
+                raise MemoryError_(
+                    f"misaligned {self.label} access")
+        safe = np.where(mask, offsets, 0)
+        return safe // itemsize

@@ -1,0 +1,93 @@
+"""CUDA occupancy calculator.
+
+Given a kernel's per-thread register usage, per-block shared memory,
+and thread count, compute how many blocks an SM can host concurrently —
+the quantity that couples register blocking to latency hiding and gives
+the dissertation's configuration space its interior optima (Tables 6.20
+–6.22, §6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+
+class OccupancyError(Exception):
+    """The configuration cannot launch at all on this device."""
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one (kernel, config)."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    limited_by: str
+
+    @property
+    def warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.warps_per_block
+
+    def fraction(self, device: DeviceSpec) -> float:
+        return self.warps_per_sm / device.max_warps_per_sm
+
+
+def _round_up(value: int, unit: int) -> int:
+    return (value + unit - 1) // unit * unit
+
+
+def occupancy(device: DeviceSpec, threads_per_block: int,
+              regs_per_thread: int, smem_per_block: int) -> Occupancy:
+    """Compute achievable blocks/SM for a kernel configuration.
+
+    Raises:
+        OccupancyError: zero blocks fit (too many registers, too much
+            shared memory, or too many threads).
+    """
+    if threads_per_block <= 0:
+        raise OccupancyError("thread block must have at least one thread")
+    if threads_per_block > device.max_threads_per_block:
+        raise OccupancyError(
+            f"{threads_per_block} threads/block exceeds the device "
+            f"maximum of {device.max_threads_per_block}")
+    if regs_per_thread > device.max_regs_per_thread:
+        raise OccupancyError(
+            f"{regs_per_thread} registers/thread exceeds the device "
+            f"maximum of {device.max_regs_per_thread} — on real "
+            "hardware nvcc would spill; re-structure or lower the "
+            "register blocking factor")
+    warps_per_block = (threads_per_block + device.warp_size - 1) \
+        // device.warp_size
+
+    by_warps = device.max_warps_per_sm // warps_per_block
+    limits = {"warps": by_warps, "blocks": device.max_blocks_per_sm}
+
+    if regs_per_thread > 0:
+        if device.reg_alloc_per_warp:
+            regs_per_warp = _round_up(
+                regs_per_thread * device.warp_size, device.reg_alloc_unit)
+            regs_per_block = regs_per_warp * warps_per_block
+        else:
+            regs_per_block = _round_up(
+                regs_per_thread * device.warp_size * warps_per_block,
+                device.reg_alloc_unit)
+        limits["registers"] = device.regs_per_sm // regs_per_block \
+            if regs_per_block else device.max_blocks_per_sm
+    if smem_per_block > 0:
+        smem = _round_up(smem_per_block, device.smem_alloc_unit)
+        if smem > device.smem_per_sm:
+            raise OccupancyError(
+                f"{smem_per_block} bytes of shared memory per block "
+                f"exceeds the {device.smem_per_sm} available per SM")
+        limits["shared memory"] = device.smem_per_sm // smem
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    if blocks < 1:
+        raise OccupancyError(
+            "configuration does not fit on an SM: "
+            + ", ".join(f"{k}→{v} blocks" for k, v in limits.items()))
+    return Occupancy(blocks_per_sm=blocks, warps_per_block=warps_per_block,
+                     limited_by=limiter)

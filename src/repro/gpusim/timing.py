@@ -1,0 +1,94 @@
+"""Analytical kernel timing model.
+
+Converts per-block event counts into kernel execution time using a
+three-bound model in the spirit of Hong & Kim's analytical GPU model
+(ISCA'09), adapted to the event counters our executor collects:
+
+* **Issue bound** — the SM issues one warp-instruction at a time; with
+  ``N`` resident blocks a scheduling round occupies the issue pipeline
+  for ``N × C`` cycles (``C`` = per-block issue cycles).
+* **Bandwidth bound** — the block's DRAM traffic divided by the SM's
+  bandwidth share.
+* **Latency bound** — the slowest warp's serial time: its issue cycles
+  plus one memory round-trip per scoreboard stall.  All resident warps
+  overlap, so a round cannot finish faster than this.
+
+``round = max(N·C, N·M, L)`` and the kernel runs
+``ceil(blocks / (N · SMs))`` rounds.  The model produces the paper's
+qualitative behaviours: low-occupancy/high-ILP configurations can
+saturate the machine (Volkov), register pressure trades resident blocks
+against per-thread work, and loop overhead shows up directly in the
+issue bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.executor import BlockStats
+from repro.gpusim.occupancy import Occupancy
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Kernel timing breakdown (cycles are core-clock cycles of one SM)."""
+
+    cycles: float
+    seconds: float
+    rounds: int
+    issue_bound: float
+    bandwidth_bound: float
+    latency_bound: float
+    blocks_per_sm: int
+    occupancy_fraction: float
+
+    @property
+    def bound(self) -> str:
+        bounds = {"issue": self.issue_bound,
+                  "bandwidth": self.bandwidth_bound,
+                  "latency": self.latency_bound}
+        return max(bounds, key=lambda k: bounds[k])
+
+
+def kernel_timing(device: DeviceSpec, occ: Occupancy,
+                  total_blocks: int,
+                  sampled: Sequence[BlockStats]) -> Timing:
+    """Estimate kernel time from sampled per-block statistics.
+
+    Args:
+        device: target device model.
+        occ: occupancy for this kernel configuration.
+        total_blocks: grid size in blocks.
+        sampled: statistics of the executed (sampled) blocks; per-block
+            means are extrapolated over the grid.
+    """
+    if not sampled:
+        raise ValueError("no sampled blocks to derive timing from")
+    n = len(sampled)
+    issue_per_block = sum(b.issue_cycles for b in sampled) / n
+    bytes_per_block = sum(b.mem_bytes for b in sampled) / n
+    latency_per_block = sum(b.latency_bound(device) for b in sampled) / n
+
+    # Blocks actually co-resident on one SM: the occupancy limit, or
+    # fewer when the grid cannot fill every SM that deep.
+    per_sm_demand = math.ceil(total_blocks / device.sm_count)
+    resident = max(1, min(occ.blocks_per_sm, per_sm_demand))
+    issue_bound = resident * issue_per_block
+    bandwidth_bound = (resident * bytes_per_block
+                       / device.bytes_per_cycle_per_sm)
+    latency_bound = latency_per_block
+    round_cycles = max(issue_bound, bandwidth_bound, latency_bound)
+    rounds = math.ceil(total_blocks
+                       / max(resident * device.sm_count, 1))
+    cycles = rounds * round_cycles
+    seconds = (cycles / (device.clock_ghz * 1e9)
+               + device.launch_overhead_us * 1e-6)
+    return Timing(cycles=cycles, seconds=seconds, rounds=rounds,
+                  issue_bound=issue_bound,
+                  bandwidth_bound=bandwidth_bound,
+                  latency_bound=latency_bound,
+                  blocks_per_sm=occ.blocks_per_sm,
+                  occupancy_fraction=occ.fraction(device))

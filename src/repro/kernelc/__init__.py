@@ -1,0 +1,19 @@
+"""kernelc — a from-scratch compiler for a CUDA-C-subset kernel language.
+
+This package plays the role of ``nvcc`` in the reproduction: CUDA-C-like
+kernel source, optionally written in terms of undefined constants, is
+preprocessed (``-D NAME=value`` macro definitions), parsed, lowered to a
+PTX-like virtual-register IR, and optimized.  The optimizations the paper
+identifies as specialization-enabled — constant folding and propagation,
+strength reduction, loop unrolling, and register blocking (local-array
+scalarization) — are implemented as IR passes whose effect is directly
+observable in the emitted IR, exactly as the dissertation's Appendix C/D
+PTX listings show.
+
+The public entry point is :func:`repro.kernelc.compiler.nvcc`.
+"""
+
+from repro.kernelc.compiler import CompileError, CompiledKernel, nvcc
+from repro.kernelc.ir import IRKernel, IRModule
+
+__all__ = ["nvcc", "CompiledKernel", "CompileError", "IRKernel", "IRModule"]

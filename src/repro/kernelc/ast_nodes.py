@@ -1,0 +1,254 @@
+"""AST node definitions for the kernel language.
+
+Nodes are plain dataclasses.  Expression nodes carry an optional ``ctype``
+slot filled in during code generation (the language is simple enough that
+type inference happens while lowering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.kernelc import typesys
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    ctype: object = typesys.S32
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+    ctype: object = typesys.F32
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class BuiltinVar(Expr):
+    """threadIdx.x, blockIdx.y, blockDim.z, gridDim.x, warpSize..."""
+
+    name: str = ""  # e.g. "tid.x"
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # -, !, ~, * (deref), & (addr-of)
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment, possibly compound (op is '' or '+', '-', ...)."""
+
+    target: Expr = None
+    value: Expr = None
+    op: str = ""
+
+
+@dataclass
+class IncDec(Expr):
+    """++/-- in prefix or postfix position."""
+
+    target: Expr = None
+    op: str = "++"
+    prefix: bool = True
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr = None
+    then: Expr = None
+    other: Expr = None
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+    #: Explicit template arguments, e.g. ``foo<8, true>(x)``.
+    template_args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Cast(Expr):
+    ctype: object = None
+    operand: Expr = None
+
+
+@dataclass
+class Comma(Expr):
+    parts: List[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Statements
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A (possibly multi-) variable declaration.
+
+    Each entry of ``decls`` is ``(name, ctype, array_size_expr_or_None,
+    init_expr_or_None)``.  ``shared``/``constant`` mark CUDA memory
+    spaces; ``const`` is advisory.
+    """
+
+    decls: List[tuple] = field(default_factory=list)
+    shared: bool = False
+    constant: bool = False
+    const: bool = False
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: List[Stmt] = field(default_factory=list)
+    other: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+    #: ``#pragma unroll`` request (None = compiler decides).
+    unroll: Optional[int] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DoWhile(Stmt):
+    cond: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class SyncThreads(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Top level
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: object
+    restrict: bool = False
+    const: bool = False
+
+
+@dataclass
+class FuncDef:
+    """A __global__ kernel or __device__ helper function."""
+
+    name: str
+    params: List[Param]
+    body: List[Stmt]
+    return_type: object = typesys.VOID
+    is_kernel: bool = False
+    force_inline: bool = False
+    launch_bounds: Optional[Tuple[int, int]] = None
+    #: Integer template parameter names (``template<int N, bool B>``);
+    #: bound to compile-time constants at each call site.
+    template_params: List[str] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    """A module-scope __constant__ / __device__ array declaration."""
+
+    name: str
+    ctype: object
+    array_size: Optional[int]
+    constant: bool = True
+    line: int = 0
+
+
+@dataclass
+class TextureDecl:
+    """A module-scope texture reference: texture<float, DIMS> name;"""
+
+    name: str
+    ctype: object
+    dims: int = 1
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    functions: List[FuncDef] = field(default_factory=list)
+    globals: List[GlobalDecl] = field(default_factory=list)
+    textures: List[TextureDecl] = field(default_factory=list)

@@ -1,0 +1,193 @@
+"""Tokenizer for the kernel language and the preprocessor.
+
+The same token stream serves both the preprocessor (which works on raw
+preprocessing tokens, line by line) and the parser (which consumes the
+fully expanded program).  Tokens carry source positions for diagnostics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+class LexError(Exception):
+    """Raised on malformed input (bad characters, unterminated comments)."""
+
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "return", "break", "continue",
+    "const", "unsigned", "signed", "void", "int", "float", "double",
+    "char", "short", "long", "bool", "struct", "sizeof", "true", "false",
+    "__global__", "__device__", "__shared__", "__constant__",
+    "__restrict__", "__forceinline__", "static", "inline", "volatile",
+    "template", "typename", "typedef",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_PUNCT = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "##", "::",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}", "#",
+]
+_PUNCT_RE = "|".join(re.escape(p) for p in _PUNCT)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<newline>\n)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>
+        (?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+        [fFlL]?
+    )
+  | (?P<int>0[xX][0-9a-fA-F]+[uUlL]*|\d+[uUlL]*)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"(?:[^"\\\n]|\\.)*")
+  | (?P<char>'(?:[^'\\\n]|\\.)')
+  | (?P<punct>%s)
+    """ % _PUNCT_RE,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``id``, ``kw``, ``int``, ``float``, ``string``,
+    ``char``, ``punct``, ``newline``, ``eof``.  ``text`` is the exact
+    source spelling; numeric values are decoded lazily by the parser.
+    """
+
+    kind: str
+    text: str
+    line: int = 0
+    col: int = 0
+    #: Macro hide set used by the preprocessor to prevent recursive
+    #: re-expansion; irrelevant after preprocessing.
+    hide: frozenset = field(default_factory=frozenset, compare=False)
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == "punct" and self.text == text
+
+    def is_kw(self, text: str) -> bool:
+        return self.kind == "kw" and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.text!r}, L{self.line})"
+
+
+def tokenize(source: str, keep_newlines: bool = False) -> List[Token]:
+    """Tokenize *source* into a list of tokens (without a trailing EOF).
+
+    Args:
+        source: program text.  Line continuations (``\\`` before a
+            newline) are spliced before scanning.
+        keep_newlines: when True, emit ``newline`` tokens so the
+            preprocessor can recognize directive boundaries.
+
+    Raises:
+        LexError: on characters outside the language.
+    """
+    source = source.replace("\\\r\n", "").replace("\\\n", "")
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if not m:
+            snippet = source[pos : pos + 20]
+            raise LexError(f"line {line}: unexpected character {snippet!r}")
+        kind = m.lastgroup
+        text = m.group()
+        col = pos - line_start + 1
+        pos = m.end()
+        if kind == "ws":
+            continue
+        if kind in ("newline", "comment"):
+            newlines = text.count("\n")
+            if kind == "newline" or newlines:
+                if keep_newlines:
+                    tokens.append(Token("newline", "\n", line, col))
+                line += max(newlines, 1 if kind == "newline" else 0)
+                line_start = pos
+            continue
+        if kind == "id" and text in KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, text, line, col))
+    return tokens
+
+
+def decode_int(text: str) -> tuple:
+    """Decode an integer literal -> (value, is_unsigned, is_long)."""
+    t = text
+    unsigned = False
+    is_long = False
+    while t and t[-1] in "uUlL":
+        if t[-1] in "uU":
+            unsigned = True
+        else:
+            is_long = True
+        t = t[:-1]
+    value = int(t, 0)
+    return value, unsigned, is_long
+
+
+def decode_float(text: str) -> tuple:
+    """Decode a float literal -> (value, is_double).
+
+    An ``f``/``F`` suffix selects single precision; the unsuffixed form
+    is double, as in C.
+    """
+    t = text
+    is_double = True
+    while t and t[-1] in "fFlL":
+        if t[-1] in "fF":
+            is_double = False
+        t = t[:-1]
+    return float(t), is_double
+
+
+class TokenStream:
+    """Cursor over a token list with lookahead, used by the parser."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self._eof = Token("eof", "<eof>",
+                          tokens[-1].line if tokens else 1, 0)
+
+    def peek(self, offset: int = 0) -> Token:
+        i = self.pos + offset
+        return self.tokens[i] if i < len(self.tokens) else self._eof
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            self.pos += 1
+            return tok
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise LexError(
+                f"line {tok.line}: expected {want!r}, found {tok.text!r}"
+            )
+        self.pos += 1
+        return tok

@@ -1,0 +1,202 @@
+"""Global (dataflow) constant propagation and branch folding.
+
+Registers in the IR are mutable (non-SSA), so constantness is a forward
+dataflow property: a register is constant at a point when every reaching
+definition assigns it the same immediate.  The pass runs the standard
+optimistic worklist algorithm over the CFG, then rewrites register
+operands with their known constants and folds conditional branches whose
+predicate became constant — which is how whole run-time-guard regions
+disappear from specialized kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.kernelc import typesys as T
+from repro.kernelc.cfg import CFG
+from repro.kernelc.ir import Imm, Instr, IRKernel, Reg
+from repro.kernelc.passes.constfold import fold_instr
+
+#: Lattice bottom: definitely not a constant.
+_BOTTOM = object()
+
+
+def _transfer(instrs, env: Dict[Reg, object],
+              interesting) -> Dict[Reg, object]:
+    """Run constants through one block, returning the out-env.
+
+    Only *interesting* registers (those live across block boundaries)
+    are tracked globally; block-local values are handled by the rewrite
+    walk, which keeps the dataflow dictionaries small even for fully
+    unrolled kernels.
+    """
+    env = dict(env)
+    local: Dict[Reg, object] = {}
+
+    def lookup(reg):
+        v = local.get(reg)
+        return v if v is not None else env.get(reg)
+
+    for instr in instrs:
+        dst = instr.dst
+        if dst is None:
+            continue
+        if instr.pred is not None:
+            # Predicated writes may or may not happen.
+            value = None
+        else:
+            value = _value_of(instr, lookup)
+        slot = env if dst in interesting else local
+        slot[dst] = value if value is not None else _BOTTOM
+        if slot is env:
+            local.pop(dst, None)
+        else:
+            env.pop(dst, None)
+    return env
+
+
+def _value_of(instr: Instr, lookup) -> Optional[object]:
+    """Constant produced by *instr* under the *lookup* function, or None."""
+    if not (instr.is_pure()):
+        return None
+    srcs = []
+    for s in instr.srcs:
+        if isinstance(s, Imm):
+            srcs.append(s)
+        elif isinstance(s, Reg):
+            known = lookup(s)
+            if known is None or known is _BOTTOM:
+                return None
+            srcs.append(Imm(known, s.ctype))
+        else:
+            return None
+    shadow = Instr(instr.op, instr.dtype, instr.dst, srcs, cmp=instr.cmp,
+                   space=instr.space)
+    folded = fold_instr(shadow)
+    return folded.value if folded is not None else None
+
+
+def _meet(a: Dict[Reg, object], b: Dict[Reg, object]) -> Dict[Reg, object]:
+    out: Dict[Reg, object] = {}
+    for reg in set(a) | set(b):
+        va = a.get(reg, None)
+        vb = b.get(reg, None)
+        if va is None:
+            out[reg] = vb
+        elif vb is None:
+            out[reg] = va
+        elif va is _BOTTOM or vb is _BOTTOM or va != vb:
+            out[reg] = _BOTTOM
+        else:
+            out[reg] = va
+    return out
+
+
+def _interesting_regs(cfg: CFG):
+    """Registers read in a block without a prior definition there.
+
+    Only these can carry constants *across* blocks; everything else is
+    block-local and handled by the rewrite walk.  Keeping the dataflow
+    dictionaries to this set makes propagation linear-ish even on fully
+    unrolled kernels.
+    """
+    interesting = set()
+    for block in cfg.blocks:
+        defined = set()
+        for i in range(block.start, block.end):
+            instr = cfg.instrs[i]
+            for s in instr.srcs:
+                if isinstance(s, Reg) and s not in defined:
+                    interesting.add(s)
+            if instr.pred is not None and instr.pred not in defined:
+                interesting.add(instr.pred)
+            if instr.dst is not None:
+                defined.add(instr.dst)
+    return interesting
+
+
+def propagate_kernel(kernel: IRKernel) -> bool:
+    """Propagate constants through *kernel*.  Returns True if changed."""
+    cfg = CFG(kernel)
+    if not cfg.blocks:
+        return False
+    nblocks = len(cfg.blocks)
+    interesting = _interesting_regs(cfg)
+    block_in: List[Optional[Dict[Reg, object]]] = [None] * nblocks
+    block_in[0] = {}
+    worklist = [0]
+    block_out: List[Optional[Dict[Reg, object]]] = [None] * nblocks
+    iterations = 0
+    max_iterations = nblocks * 64 + 256
+    while worklist and iterations < max_iterations:
+        iterations += 1
+        bid = worklist.pop()
+        block = cfg.blocks[bid]
+        env_in = block_in[bid] or {}
+        env_out = _transfer(cfg.instrs[block.start:block.end], env_in,
+                            interesting)
+        if block_out[bid] == env_out:
+            continue
+        block_out[bid] = env_out
+        for succ in block.succs:
+            if block_in[succ] is None:
+                block_in[succ] = dict(env_out)
+                worklist.append(succ)
+            else:
+                merged = _meet(block_in[succ], env_out)
+                if merged != block_in[succ]:
+                    block_in[succ] = merged
+                    worklist.append(succ)
+
+    # Rewrite pass: substitute known-constant registers into operands.
+    changed = False
+    for block in cfg.blocks:
+        if block_in[block.bid] is None:
+            continue  # unreachable
+        env = dict(block_in[block.bid])
+        for i in range(block.start, block.end):
+            instr = cfg.instrs[i]
+            new_srcs = []
+            for s in instr.srcs:
+                if isinstance(s, Reg):
+                    known = env.get(s, None)
+                    if known is not None and known is not _BOTTOM:
+                        new_srcs.append(Imm(known, s.ctype))
+                        changed = True
+                        continue
+                new_srcs.append(s)
+            instr.srcs = new_srcs
+            if instr.pred is not None:
+                known = env.get(instr.pred, None)
+                if known is not None and known is not _BOTTOM:
+                    taken = bool(known) != instr.pred_neg
+                    if instr.op == "bra":
+                        if taken:
+                            instr.pred = None
+                            instr.pred_neg = False
+                        else:
+                            instr.op = "nop"
+                            instr.srcs = []
+                        changed = True
+                    elif taken:
+                        instr.pred = None
+                        instr.pred_neg = False
+                        changed = True
+                    else:
+                        instr.op = "nop"
+                        instr.dst = None
+                        instr.srcs = []
+                        changed = True
+            # Update env through this instruction (the rewrite walk
+            # tracks every register locally, interesting or not).
+            dst = instr.dst
+            if dst is not None:
+                if instr.pred is not None:
+                    env[dst] = _BOTTOM
+                else:
+                    value = _value_of(instr, env.get)
+                    env[dst] = value if value is not None else _BOTTOM
+    if changed:
+        cfg.rebuild_body()
+    return changed

@@ -1,0 +1,114 @@
+"""Local common-subexpression elimination with copy propagation.
+
+Within each basic block, pure instructions with identical opcodes and
+operands reuse the earlier result instead of recomputing it.  Registers
+are mutable, so an expression's availability ends when any of its input
+registers (or its result register) is redefined.  Register-to-register
+``mov`` copies are propagated locally so chains produced by earlier
+replacements collapse too; DCE then sweeps the dead movs.
+
+This keeps specialized kernels honest: unrolled loop bodies share their
+common address sub-expressions the way nvcc's PTX does, so the
+instruction-count comparison between RE and SK kernels reflects real
+toolchain behaviour rather than naive duplication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.kernelc.cfg import CFG
+from repro.kernelc.ir import COMMUTATIVE_OPS, Imm, Instr, IRKernel, Reg
+
+
+def _operand_key(operand) -> Tuple:
+    if isinstance(operand, Reg):
+        return ("r", operand.name)
+    if isinstance(operand, Imm):
+        return ("i", repr(operand.value), operand.ctype.ptx_suffix())
+    return ("s", operand.name)
+
+
+def _key(instr: Instr) -> Tuple:
+    srcs = instr.srcs
+    if instr.op in COMMUTATIVE_OPS and len(srcs) == 2:
+        a, b = srcs
+        if _operand_key(b) < _operand_key(a):
+            srcs = [b, a]
+    return (instr.op, instr.dtype.ptx_suffix(), instr.cmp,
+            tuple(_operand_key(s) for s in srcs))
+
+
+def cse_kernel(kernel: IRKernel) -> bool:
+    """Eliminate redundant pure computations per block."""
+    cfg = CFG(kernel)
+    changed = False
+    for block in cfg.blocks:
+        available: Dict[Tuple, Reg] = {}
+        uses: Dict[str, List[Tuple]] = {}
+        copies: Dict[Reg, Reg] = {}
+        copy_rev: Dict[Reg, Set[Reg]] = {}
+
+        def resolve(reg: Reg) -> Reg:
+            seen = set()
+            while reg in copies and reg not in seen:
+                seen.add(reg)
+                reg = copies[reg]
+            return reg
+
+        def kill(reg: Reg) -> None:
+            # Invalidate expressions touching reg and copies through it.
+            for key in uses.pop(reg.name, []):
+                available.pop(key, None)
+            old = copies.pop(reg, None)
+            if old is not None:
+                copy_rev.get(old, set()).discard(reg)
+            for dependent in copy_rev.pop(reg, set()):
+                copies.pop(dependent, None)
+
+        for i in range(block.start, block.end):
+            instr = cfg.instrs[i]
+            new_srcs = []
+            for s in instr.srcs:
+                if isinstance(s, Reg):
+                    r = resolve(s)
+                    if r is not s:
+                        changed = True
+                    new_srcs.append(r)
+                else:
+                    new_srcs.append(s)
+            instr.srcs = new_srcs
+            if instr.pred is not None:
+                r = resolve(instr.pred)
+                if r is not instr.pred:
+                    instr.pred = r
+                    changed = True
+            dst = instr.dst
+            if dst is not None:
+                kill(dst)
+            if not instr.is_pure() or dst is None or instr.pred is not None:
+                continue
+            if instr.op == "mov" and isinstance(instr.srcs[0], Reg):
+                src = instr.srcs[0]
+                if src != dst:
+                    copies[dst] = src
+                    copy_rev.setdefault(src, set()).add(dst)
+                continue
+            key = _key(instr)
+            prior = available.get(key)
+            if prior is not None and prior != dst:
+                instr.op = "mov"
+                instr.cmp = ""
+                instr.srcs = [prior]
+                copies[dst] = prior
+                copy_rev.setdefault(prior, set()).add(dst)
+                changed = True
+            elif dst not in instr.srcs:
+                available[key] = dst
+                for s in instr.srcs:
+                    if isinstance(s, Reg):
+                        uses.setdefault(s.name, []).append(key)
+                uses.setdefault(dst.name, []).append(key)
+    if changed:
+        cfg.rebuild_body()
+    return changed

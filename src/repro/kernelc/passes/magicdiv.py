@@ -1,0 +1,198 @@
+"""Magic-number division: strength reduction for *arbitrary* constant
+divisors.
+
+Power-of-two divisors reduce to shifts (:mod:`strength`); every other
+compile-time divisor reduces to a multiply-high plus shifts using the
+classic Hacker's Delight (§10) magic numbers — exactly what nvcc emits
+for ``x / 9`` when 9 is known at compile time.  This is the deep end of
+what specialization buys: a fully run-time divisor can never take this
+path.
+
+The PIV kernels decode offsets with ``o / OFFS_W`` where the search
+width is rarely a power of two, so specialized compilations route
+through here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.kernelc import typesys as T
+from repro.kernelc.ir import Imm, Instr, IRKernel, Reg, RegFactory
+
+_U32_MASK = 0xFFFFFFFF
+
+
+def magic_unsigned(d: int) -> Tuple[int, int, bool]:
+    """Unsigned magic number for 32-bit division by *d* (d >= 2).
+
+    Returns (M, s, add): when ``add`` is False,
+    ``q = mulhi_u(x, M) >> s``; otherwise the overflow-corrected
+    sequence ``t = mulhi_u(x, M); q = ((x - t) >> 1 + t) >> (s - 1)``.
+    """
+    assert d >= 2
+    p = 31
+    nc = ((1 << 32) // d) * d - 1
+    q1 = 0x80000000 // nc
+    r1 = 0x80000000 - q1 * nc
+    q2 = 0x7FFFFFFF // d
+    r2 = 0x7FFFFFFF - q2 * d
+    add = False
+    while True:
+        p += 1
+        if r1 >= nc - r1:
+            q1 = 2 * q1 + 1
+            r1 = 2 * r1 - nc
+        else:
+            q1 = 2 * q1
+            r1 = 2 * r1
+        if r2 + 1 >= d - r2:
+            if q2 >= 0x7FFFFFFF:
+                add = True
+            q2 = 2 * q2 + 1
+            r2 = 2 * r2 + 1 - d
+        else:
+            if q2 >= 0x80000000:
+                add = True
+            q2 = 2 * q2
+            r2 = 2 * r2 + 1
+        delta = d - 1 - r2
+        if not (p < 64 and (q1 < delta or (q1 == delta and r1 == 0))):
+            break
+    return (q2 + 1) & _U32_MASK, p - 32, add
+
+
+def magic_signed(d: int) -> Tuple[int, int]:
+    """Signed magic number for 32-bit division by *d* (d >= 2).
+
+    Returns (M, s) with M in [0, 2^32): ``q0 = mulhi_s(x, M)`` (M
+    reinterpreted as signed), ``+x`` when M's sign bit is set, then
+    ``q = (q0 >> s) + (x >>> 31)``.
+    """
+    assert d >= 2
+    two31 = 1 << 31
+    ad = d
+    t = two31
+    anc = t - 1 - t % ad
+    p = 31
+    q1 = two31 // anc
+    r1 = two31 - q1 * anc
+    q2 = two31 // ad
+    r2 = two31 - q2 * ad
+    while True:
+        p += 1
+        q1 *= 2
+        r1 *= 2
+        if r1 >= anc:
+            q1 += 1
+            r1 -= anc
+        q2 *= 2
+        r2 *= 2
+        if r2 >= ad:
+            q2 += 1
+            r2 -= ad
+        delta = ad - r2
+        if not (q1 < delta or (q1 == delta and r1 == 0)):
+            break
+    return (q2 + 1) & _U32_MASK, p - 32
+
+
+def magic_divide_kernel(kernel: IRKernel) -> bool:
+    """Rewrite 32-bit div/rem by non-power-of-two immediates."""
+    changed = False
+    new_body: List[object] = []
+    regs = RegFactory()
+    regs._counter = 3_000_000
+    for item in kernel.body:
+        if isinstance(item, Instr):
+            replaced = _reduce(item, regs)
+            if replaced is not None:
+                new_body.extend(replaced)
+                changed = True
+                continue
+        new_body.append(item)
+    if changed:
+        kernel.body = new_body
+    return changed
+
+
+def _reduce(instr: Instr, regs: RegFactory) -> Optional[List[Instr]]:
+    t = instr.dtype
+    if instr.op not in ("div", "rem") or instr.pred is not None:
+        return None
+    if T.is_pointer(t) or not t.is_integer or t.bits != 32:
+        return None
+    a, b = instr.srcs
+    if not isinstance(b, Imm):
+        return None
+    d = int(b.value)
+    if d < 2 or (d & (d - 1)) == 0:
+        return None  # pow2 and degenerate cases belong to 'strength'
+    out: List[Instr] = []
+    if t.signed:
+        quotient = _emit_signed(out, regs, a, d, instr.line)
+    else:
+        quotient = _emit_unsigned(out, regs, a, d, instr.line)
+    if instr.op == "div":
+        out.append(Instr("mov", t, instr.dst, [quotient],
+                         line=instr.line))
+    else:
+        scaled = regs.new(t)
+        out.append(Instr("mul", t, scaled,
+                         [quotient, Imm(T.convert_const(d, t), t)],
+                         line=instr.line))
+        out.append(Instr("sub", t, instr.dst, [a, scaled],
+                         line=instr.line))
+    return out
+
+
+def _emit_unsigned(out, regs, a, d, line) -> Reg:
+    t = T.U32
+    m, s, add = magic_unsigned(d)
+    hi = regs.new(t)
+    out.append(Instr("mulhi", t, hi, [a, Imm(m, t)], line=line))
+    if not add:
+        if s == 0:
+            return hi
+        q = regs.new(t)
+        out.append(Instr("shr", t, q, [hi, Imm(s, T.U32)], line=line))
+        return q
+    diff = regs.new(t)
+    half = regs.new(t)
+    summed = regs.new(t)
+    q = regs.new(t)
+    out.append(Instr("sub", t, diff, [a, hi], line=line))
+    out.append(Instr("shr", t, half, [diff, Imm(1, T.U32)], line=line))
+    out.append(Instr("add", t, summed, [half, hi], line=line))
+    out.append(Instr("shr", t, q, [summed, Imm(s - 1, T.U32)],
+                     line=line))
+    return q
+
+
+def _emit_signed(out, regs, a, d, line) -> Reg:
+    t = T.S32
+    m, s = magic_signed(d)
+    signed_m = m - (1 << 32) if m >= (1 << 31) else m
+    hi = regs.new(t)
+    out.append(Instr("mulhi", t, hi,
+                     [a, Imm(T.convert_const(signed_m, t), t)],
+                     line=line))
+    q0 = hi
+    if signed_m < 0:
+        corrected = regs.new(t)
+        out.append(Instr("add", t, corrected, [hi, a], line=line))
+        q0 = corrected
+    shifted = q0
+    if s > 0:
+        shifted = regs.new(t)
+        out.append(Instr("shr", t, shifted, [q0, Imm(s, T.U32)],
+                         line=line))
+    # + sign bit of the dividend (round toward zero).
+    sign = regs.new(T.U32)
+    out.append(Instr("shr", T.U32, sign,
+                     [a, Imm(31, T.U32)], line=line))
+    sign_s = regs.new(t)
+    out.append(Instr("cvt", t, sign_s, [sign], cmp="u32", line=line))
+    q = regs.new(t)
+    out.append(Instr("add", t, q, [shifted, sign_s], line=line))
+    return q

@@ -1,0 +1,91 @@
+"""Local-array scalarization — the register-blocking enabler.
+
+NVIDIA GPUs cannot indirectly address the register file, so a per-thread
+array (``float acc[N];``) only lives in registers when every access
+index is a compile-time constant (§2.4 of the dissertation: "Fixed loop
+counts are required for the CUDA C compiler to specify the use of extra
+registers for data").  After specialization fixes loop bounds and the
+loops unroll, all ``ld.local``/``st.local`` addresses fold to
+immediates; this pass then promotes each array slot to a virtual
+register.  Arrays with any remaining dynamic access stay in local
+memory — which the simulator charges at global-memory cost, exactly the
+penalty a run-time-evaluated kernel pays on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.kernelc import typesys as T
+from repro.kernelc.ir import Imm, Instr, IRKernel, Reg, RegFactory
+
+
+def scalarize_kernel(kernel: IRKernel) -> bool:
+    """Promote fully-constant-indexed local arrays to registers."""
+    if not kernel.local_arrays:
+        return False
+    ranges = {name: (decl.offset, decl.offset + decl.nbytes, decl)
+              for name, decl in kernel.local_arrays.items()}
+
+    def owner(addr: int):
+        for name, (lo, hi, decl) in ranges.items():
+            if lo <= addr < hi:
+                return name, decl
+        return None, None
+
+    promotable: Set[str] = set(kernel.local_arrays)
+    for instr in kernel.instructions():
+        if instr.op not in ("ld", "st", "atom") or instr.space != "local":
+            continue
+        addr = instr.srcs[0]
+        if not isinstance(addr, Imm):
+            # Dynamic address: disqualify every array it might touch.
+            promotable.clear()
+            break
+        name, decl = owner(int(addr.value))
+        if name is None:
+            promotable.clear()
+            break
+        offset = int(addr.value) - decl.offset
+        elem = decl.ctype
+        # Misaligned or type-punned access: leave the array in memory.
+        if offset % elem.size != 0 or instr.dtype.size != elem.size \
+                or instr.op == "atom":
+            promotable.discard(name)
+    if not promotable:
+        return False
+
+    factory = RegFactory()
+    factory._counter = 2_000_000
+    slot_regs: Dict[Tuple[str, int], Reg] = {}
+
+    def slot_reg(name: str, decl, addr: int) -> Reg:
+        slot = (addr - decl.offset) // decl.ctype.size
+        key = (name, slot)
+        if key not in slot_regs:
+            slot_regs[key] = factory.new(decl.ctype)
+        return slot_regs[key]
+
+    changed = False
+    for instr in kernel.instructions():
+        if instr.op not in ("ld", "st") or instr.space != "local":
+            continue
+        addr = int(instr.srcs[0].value)
+        name, decl = owner(addr)
+        if name not in promotable:
+            continue
+        reg = slot_reg(name, decl, addr)
+        if instr.op == "ld":
+            instr.op = "mov"
+            instr.space = ""
+            instr.srcs = [reg]
+        else:
+            value = instr.srcs[1]
+            instr.op = "mov"
+            instr.space = ""
+            instr.dst = reg
+            instr.srcs = [value]
+        changed = True
+    for name in promotable:
+        del kernel.local_arrays[name]
+    return changed

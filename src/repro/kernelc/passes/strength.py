@@ -1,0 +1,142 @@
+"""Strength reduction.
+
+Replaces expensive integer operations whose right operand is a
+compile-time power of two with cheap bit operations — the optimization
+the dissertation singles out (§2.4: "the compiler must know when scalars
+are powers of two to strength reduce division or modulus (two relatively
+expensive operations on NVIDIA GPUs) to bit-wise operations").
+
+* ``mul r, a, 2^k``  → ``shl r, a, k``
+* ``div r, a, 2^k``  → ``shr r, a, k``  (unsigned; signed gets the
+  standard round-toward-zero fixup sequence, still far cheaper than a
+  hardware divide)
+* ``rem r, a, 2^k``  → ``and r, a, 2^k - 1`` (unsigned)
+* ``div.f32 r, a, C`` → ``mul.f32 r, a, 1/C`` when C is a power of two
+  (exact in binary floating point)
+
+Only *immediate* operands qualify: a fully run-time-evaluated kernel
+keeps its divides, which is one of the measured RE-vs-SK differences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kernelc import typesys as T
+from repro.kernelc.ir import Imm, Instr, IRKernel, Reg, RegFactory
+
+
+def _log2_exact(value: int) -> Optional[int]:
+    if value <= 0 or value & (value - 1):
+        return None
+    return value.bit_length() - 1
+
+
+def strength_reduce_kernel(kernel: IRKernel) -> bool:
+    """Apply strength reduction in place.  Returns True if changed."""
+    changed = False
+    new_body: List[object] = []
+    regs = RegFactory()
+    # Seed the factory past existing names to avoid collisions.
+    regs._counter = 1_000_000
+    for item in kernel.body:
+        if not isinstance(item, Instr):
+            new_body.append(item)
+            continue
+        replaced = _reduce(item, regs)
+        if replaced is None:
+            new_body.append(item)
+        else:
+            new_body.extend(replaced)
+            changed = True
+    if changed:
+        kernel.body = new_body
+    return changed
+
+
+def _reduce(instr: Instr, regs: RegFactory) -> Optional[List[Instr]]:
+    t = instr.dtype
+    if instr.op not in ("mul", "div", "rem") or len(instr.srcs) != 2:
+        return None
+    if instr.pred is not None:
+        return None
+    a, b = instr.srcs
+    if T.is_pointer(t):
+        return None
+    if t.is_float:
+        if instr.op == "div" and isinstance(b, Imm) and b.value not in (0,):
+            k = _float_pow2(b.value)
+            if k is not None:
+                recip = T.convert_const(1.0 / b.value, t)
+                return [Instr("mul", t, instr.dst, [a, Imm(recip, t)],
+                              line=instr.line)]
+        return None
+    if not t.is_integer:
+        return None
+    # Commute multiplication so the constant sits on the right.
+    if instr.op == "mul" and isinstance(a, Imm) and not isinstance(b, Imm):
+        a, b = b, a
+    if not isinstance(b, Imm):
+        return None
+    k = _log2_exact(int(b.value)) if int(b.value) > 0 else None
+    if k is None:
+        return None
+    shift = Imm(T.convert_const(k, T.U32), T.U32)
+    if instr.op == "mul":
+        if k == 0:
+            return [Instr("mov", t, instr.dst, [a], line=instr.line)]
+        return [Instr("shl", t, instr.dst, [a, shift], line=instr.line)]
+    if instr.op == "div":
+        if k == 0:
+            return [Instr("mov", t, instr.dst, [a], line=instr.line)]
+        if not t.signed:
+            return [Instr("shr", t, instr.dst, [a, shift],
+                          line=instr.line)]
+        # Signed round-toward-zero: q = (a + ((a >> bits-1) & (d-1))) >> k
+        sign = regs.new(t)
+        bias = regs.new(t)
+        adjusted = regs.new(t)
+        mask = Imm(T.convert_const(int(b.value) - 1, t), t)
+        width = Imm(T.convert_const(t.bits - 1, T.U32), T.U32)
+        return [
+            Instr("shr", t, sign, [a, width], line=instr.line),
+            Instr("and", t, bias, [sign, mask], line=instr.line),
+            Instr("add", t, adjusted, [a, bias], line=instr.line),
+            Instr("shr", t, instr.dst, [adjusted, shift],
+                  line=instr.line),
+        ]
+    if instr.op == "rem":
+        mask = Imm(T.convert_const(int(b.value) - 1, t), t)
+        if not t.signed:
+            return [Instr("and", t, instr.dst, [a, mask],
+                          line=instr.line)]
+        # Signed remainder keeps the dividend's sign; build it from the
+        # strength-reduced quotient: r = a - (q << k).
+        sign = regs.new(t)
+        bias = regs.new(t)
+        adjusted = regs.new(t)
+        quotient = regs.new(t)
+        scaled = regs.new(t)
+        width = Imm(T.convert_const(t.bits - 1, T.U32), T.U32)
+        shift_imm = Imm(T.convert_const(k, T.U32), T.U32)
+        return [
+            Instr("shr", t, sign, [a, width], line=instr.line),
+            Instr("and", t, bias, [sign, mask], line=instr.line),
+            Instr("add", t, adjusted, [a, bias], line=instr.line),
+            Instr("shr", t, quotient, [adjusted, shift_imm],
+                  line=instr.line),
+            Instr("shl", t, scaled, [quotient, shift_imm],
+                  line=instr.line),
+            Instr("sub", t, instr.dst, [a, scaled], line=instr.line),
+        ]
+    return None
+
+
+def _float_pow2(value: float) -> Optional[int]:
+    """Return k when |value| == 2^k exactly (k may be negative)."""
+    import math
+
+    if value <= 0.0 or math.isinf(value) or math.isnan(value):
+        return None
+    mantissa, exponent = math.frexp(value)
+    return exponent - 1 if mantissa == 0.5 else None

@@ -1,0 +1,509 @@
+"""C preprocessor for the kernel language.
+
+Implements the subset the dissertation's specialization workflow relies
+on: command-line macro definitions (``nvcc -D NAME=value``), object- and
+function-like ``#define``, ``#undef``, conditional inclusion
+(``#if/#ifdef/#ifndef/#elif/#else/#endif`` with ``defined()``), and
+``#include`` resolved against a dictionary of virtual headers (the
+framework ships ``gpuFunctions.hpp`` this way).  Macro bodies are
+re-scanned with hide sets so self-referential macros terminate, matching
+the C standard's behaviour closely enough for kernel code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.kernelc.lexer import Token, decode_int, tokenize
+
+
+class PreprocessorError(Exception):
+    """Raised for malformed directives or unbalanced conditionals."""
+
+
+class Macro:
+    """A macro definition.
+
+    Args:
+        name: macro identifier.
+        body: replacement token list.
+        params: parameter names for function-like macros, else ``None``.
+        variadic: whether the last parameter is ``...`` (unsupported in
+            expansion; accepted for robustness).
+    """
+
+    def __init__(self, name: str, body: List[Token],
+                 params: Optional[List[str]] = None,
+                 variadic: bool = False):
+        self.name = name
+        self.body = body
+        self.params = params
+        self.variadic = variadic
+
+    @property
+    def function_like(self) -> bool:
+        return self.params is not None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        args = f"({','.join(self.params)})" if self.function_like else ""
+        return f"Macro({self.name}{args})"
+
+
+def _to_tokens(value) -> List[Token]:
+    """Convert a ``-D`` value (str/int/float/bool) to replacement tokens."""
+    if isinstance(value, bool):
+        text = "1" if value else "0"
+    elif isinstance(value, float):
+        # Emit full precision followed by an 'f' would change double
+        # literals; keep the plain repr, the parser decides the type.
+        text = repr(value)
+    else:
+        text = str(value)
+    return tokenize(text)
+
+
+class Preprocessor:
+    """Expands macros and evaluates directives over a token stream.
+
+    Attributes:
+        macros: live macro table (name -> :class:`Macro`).
+        headers: virtual include files (filename -> source text).
+    """
+
+    def __init__(self, defines: Optional[Mapping[str, object]] = None,
+                 headers: Optional[Mapping[str, str]] = None):
+        self.macros: Dict[str, Macro] = {}
+        self.headers = dict(headers or {})
+        for name, value in (defines or {}).items():
+            if value is None:
+                self.macros[name] = Macro(name, [])
+            else:
+                self.macros[name] = Macro(name, _to_tokens(value))
+
+    # ------------------------------------------------------------------
+    # Driver
+
+    def process(self, source: str) -> List[Token]:
+        """Preprocess *source*, returning the expanded token list."""
+        lines = self._split_directive_lines(source)
+        out: List[Token] = []
+        # Conditional stack entries: [taken_now, any_branch_taken, seen_else]
+        cond: List[List[bool]] = []
+
+        def active() -> bool:
+            return all(level[0] for level in cond)
+
+        i = 0
+        while i < len(lines):
+            line = lines[i]
+            i += 1
+            if line and line[0].is_punct("#"):
+                self._directive(line, cond, active, out)
+            elif active():
+                out.extend(self.expand(line))
+        if cond:
+            raise PreprocessorError("unterminated #if block")
+        return out
+
+    def _split_directive_lines(self, source: str) -> List[List[Token]]:
+        """Split the token stream into logical lines.
+
+        Directive lines (starting with ``#``) stay line-sized; ordinary
+        text between directives is grouped per line too, which keeps
+        expansion memory bounded and error lines accurate.
+        """
+        toks = tokenize(source, keep_newlines=True)
+        lines: List[List[Token]] = []
+        current: List[Token] = []
+        for tok in toks:
+            if tok.kind == "newline":
+                if current:
+                    lines.append(current)
+                    current = []
+            else:
+                current.append(tok)
+        if current:
+            lines.append(current)
+        return lines
+
+    # ------------------------------------------------------------------
+    # Directives
+
+    def _directive(self, line: List[Token], cond, active, out) -> None:
+        if len(line) == 1:  # null directive
+            return
+        name_tok = line[1]
+        name = name_tok.text
+        rest = line[2:]
+        if name in ("ifdef", "ifndef"):
+            if not rest or rest[0].kind not in ("id", "kw"):
+                raise PreprocessorError(
+                    f"line {name_tok.line}: #{name} needs an identifier")
+            defined = rest[0].text in self.macros
+            want = defined if name == "ifdef" else not defined
+            cond.append([active() and want, want, False])
+        elif name == "if":
+            value = self._eval_condition(rest) if active() else False
+            cond.append([active() and bool(value), bool(value), False])
+        elif name == "elif":
+            if not cond or cond[-1][2]:
+                raise PreprocessorError(
+                    f"line {name_tok.line}: #elif without matching #if")
+            level = cond.pop()
+            parent_active = active()
+            if level[1]:
+                cond.append([False, True, False])
+            else:
+                value = bool(self._eval_condition(rest)) if parent_active else False
+                cond.append([parent_active and value, value, False])
+        elif name == "else":
+            if not cond or cond[-1][2]:
+                raise PreprocessorError(
+                    f"line {name_tok.line}: #else without matching #if")
+            level = cond.pop()
+            parent_active = active()
+            cond.append([parent_active and not level[1], True, True])
+        elif name == "endif":
+            if not cond:
+                raise PreprocessorError(
+                    f"line {name_tok.line}: #endif without matching #if")
+            cond.pop()
+        elif not active():
+            return
+        elif name == "define":
+            self._define(rest, name_tok.line)
+        elif name == "undef":
+            if not rest:
+                raise PreprocessorError(
+                    f"line {name_tok.line}: #undef needs an identifier")
+            self.macros.pop(rest[0].text, None)
+        elif name == "include":
+            self._include(rest, name_tok.line, out, cond)
+        elif name in ("pragma", "error", "warning"):
+            if name == "error":
+                text = " ".join(t.text for t in rest)
+                raise PreprocessorError(
+                    f"line {name_tok.line}: #error {text}")
+            if name == "pragma" and rest and rest[0].text == "unroll":
+                # Rewrite '#pragma unroll [N]' into the parser marker
+                # '__pragma_unroll(N)' so the hint survives lexing.
+                line_no = name_tok.line
+                expanded = self.expand(rest[1:])
+                count = expanded[0].text if expanded else ""
+                marker = tokenize(f"__pragma_unroll({count})")
+                for t in marker:
+                    t.line = line_no
+                out.extend(marker)
+        else:
+            raise PreprocessorError(
+                f"line {name_tok.line}: unknown directive #{name}")
+
+    def _define(self, rest: List[Token], line: int) -> None:
+        if not rest or rest[0].kind not in ("id", "kw"):
+            raise PreprocessorError(f"line {line}: malformed #define")
+        name = rest[0].text
+        body_start = 1
+        params: Optional[List[str]] = None
+        variadic = False
+        # Function-like only when '(' immediately follows the name; the
+        # lexer drops whitespace, so use column adjacency.
+        if (len(rest) > 1 and rest[1].is_punct("(")
+                and rest[1].col == rest[0].col + len(name)):
+            params = []
+            j = 2
+            while j < len(rest) and not rest[j].is_punct(")"):
+                tok = rest[j]
+                if tok.is_punct(","):
+                    j += 1
+                    continue
+                if tok.is_punct("..."):
+                    variadic = True
+                elif tok.kind in ("id", "kw"):
+                    params.append(tok.text)
+                else:
+                    raise PreprocessorError(
+                        f"line {line}: bad macro parameter {tok.text!r}")
+                j += 1
+            if j >= len(rest):
+                raise PreprocessorError(
+                    f"line {line}: unterminated macro parameter list")
+            body_start = j + 1
+        self.macros[name] = Macro(name, rest[body_start:], params, variadic)
+
+    def _include(self, rest, line, out, cond) -> None:
+        if rest and rest[0].kind == "string":
+            fname = rest[0].text[1:-1]
+        elif rest and rest[0].is_punct("<"):
+            fname = "".join(t.text for t in rest[1:-1])
+        else:
+            raise PreprocessorError(f"line {line}: malformed #include")
+        if fname not in self.headers:
+            raise PreprocessorError(
+                f"line {line}: include file {fname!r} not found")
+        sub = self._split_directive_lines(self.headers[fname])
+        # Process the included file inline, sharing the macro table.
+        def active() -> bool:
+            return all(level[0] for level in cond)
+        for inc_line in sub:
+            if inc_line and inc_line[0].is_punct("#"):
+                self._directive(inc_line, cond, active, out)
+            elif active():
+                out.extend(self.expand(inc_line))
+
+    # ------------------------------------------------------------------
+    # Expansion
+
+    def expand(self, tokens: Sequence[Token]) -> List[Token]:
+        """Fully macro-expand *tokens* (with hide sets)."""
+        out: List[Token] = []
+        stream = list(tokens)
+        i = 0
+        while i < len(stream):
+            tok = stream[i]
+            macro = (self.macros.get(tok.text)
+                     if tok.kind in ("id", "kw") else None)
+            if macro is None or tok.text in tok.hide:
+                out.append(tok)
+                i += 1
+                continue
+            if macro.function_like:
+                j = i + 1
+                if j >= len(stream) or not stream[j].is_punct("("):
+                    out.append(tok)  # not invoked: leave as identifier
+                    i += 1
+                    continue
+                args, next_i = self._collect_args(stream, j, tok)
+                replaced = self._substitute(macro, args, tok)
+                hide = tok.hide | {macro.name}
+                replaced = [self._rehide(t, hide) for t in replaced]
+                stream[i:next_i] = replaced
+            else:
+                hide = tok.hide | {macro.name}
+                replaced = [self._rehide(t, hide) for t in macro.body]
+                stream[i : i + 1] = replaced
+        return out
+
+    @staticmethod
+    def _rehide(tok: Token, hide: frozenset) -> Token:
+        new = Token(tok.kind, tok.text, tok.line, tok.col)
+        new.hide = frozenset(tok.hide | hide)
+        return new
+
+    def _collect_args(self, stream, open_idx, call_tok):
+        """Collect macro call arguments; returns (args, index_past_close)."""
+        depth = 0
+        args: List[List[Token]] = [[]]
+        i = open_idx
+        while i < len(stream):
+            tok = stream[i]
+            if tok.is_punct("("):
+                depth += 1
+                if depth > 1:
+                    args[-1].append(tok)
+            elif tok.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    return args, i + 1
+                args[-1].append(tok)
+            elif tok.is_punct(",") and depth == 1:
+                args.append([])
+            else:
+                args[-1].append(tok)
+            i += 1
+        raise PreprocessorError(
+            f"line {call_tok.line}: unterminated call to macro "
+            f"{call_tok.text!r}")
+
+    def _substitute(self, macro: Macro, args, call_tok) -> List[Token]:
+        params = macro.params or []
+        if len(args) == 1 and not args[0] and not params:
+            args = []
+        if len(args) != len(params) and not macro.variadic:
+            raise PreprocessorError(
+                f"line {call_tok.line}: macro {macro.name!r} expects "
+                f"{len(params)} arguments, got {len(args)}")
+        # Arguments are pre-expanded before substitution (C99 6.10.3.1),
+        # except where operands of # / ## — we support # (stringize).
+        expanded_args = {p: self.expand(a) for p, a in zip(params, args)}
+        out: List[Token] = []
+        body = macro.body
+        k = 0
+        while k < len(body):
+            tok = body[k]
+            if tok.is_punct("#") and k + 1 < len(body) and \
+                    body[k + 1].text in params:
+                raw = args[params.index(body[k + 1].text)]
+                text = '"' + " ".join(t.text for t in raw) + '"'
+                out.append(Token("string", text, call_tok.line, call_tok.col))
+                k += 2
+                continue
+            if tok.is_punct("##"):
+                # Token pasting: merge previous output token with next.
+                if not out or k + 1 >= len(body):
+                    raise PreprocessorError(
+                        f"line {call_tok.line}: '##' at macro body edge")
+                nxt = body[k + 1]
+                nxt_toks = (expanded_args.get(nxt.text, [nxt])
+                            if nxt.text in params else [nxt])
+                left = out.pop()
+                pasted_text = left.text + (nxt_toks[0].text if nxt_toks else "")
+                pasted = tokenize(pasted_text)
+                for p in pasted:
+                    p.line, p.col = call_tok.line, call_tok.col
+                out.extend(pasted)
+                out.extend(nxt_toks[1:])
+                k += 2
+                continue
+            if tok.text in params and tok.kind in ("id", "kw"):
+                out.extend(expanded_args[tok.text])
+            else:
+                out.append(tok)
+            k += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # #if expression evaluation
+
+    def _eval_condition(self, tokens: List[Token]) -> int:
+        """Evaluate a ``#if`` controlling expression to an integer."""
+        # Replace defined(X)/defined X before macro expansion.
+        pre: List[Token] = []
+        i = 0
+        while i < len(tokens):
+            tok = tokens[i]
+            if tok.kind in ("id", "kw") and tok.text == "defined":
+                if i + 1 < len(tokens) and tokens[i + 1].is_punct("("):
+                    name = tokens[i + 2].text
+                    i += 4
+                else:
+                    name = tokens[i + 1].text
+                    i += 2
+                pre.append(Token("int", "1" if name in self.macros else "0",
+                                 tok.line, tok.col))
+            else:
+                pre.append(tok)
+                i += 1
+        expanded = self.expand(pre)
+        # Remaining identifiers evaluate to 0, per the standard.
+        final = [Token("int", "0", t.line, t.col)
+                 if t.kind in ("id", "kw") and t.text not in ("true", "false")
+                 else (Token("int", "1" if t.text == "true" else "0",
+                             t.line, t.col) if t.kind == "kw" else t)
+                 for t in expanded]
+        return _CondParser(final).parse()
+
+
+class _CondParser:
+    """Tiny precedence-climbing parser for #if integer expressions."""
+
+    _BINOPS = {
+        "||": (1, lambda a, b: int(bool(a) or bool(b))),
+        "&&": (2, lambda a, b: int(bool(a) and bool(b))),
+        "|": (3, lambda a, b: a | b),
+        "^": (4, lambda a, b: a ^ b),
+        "&": (5, lambda a, b: a & b),
+        "==": (6, lambda a, b: int(a == b)),
+        "!=": (6, lambda a, b: int(a != b)),
+        "<": (7, lambda a, b: int(a < b)),
+        ">": (7, lambda a, b: int(a > b)),
+        "<=": (7, lambda a, b: int(a <= b)),
+        ">=": (7, lambda a, b: int(a >= b)),
+        "<<": (8, lambda a, b: a << b),
+        ">>": (8, lambda a, b: a >> b),
+        "+": (9, lambda a, b: a + b),
+        "-": (9, lambda a, b: a - b),
+        "*": (10, lambda a, b: a * b),
+        "/": (10, lambda a, b: _cdiv(a, b)),
+        "%": (10, lambda a, b: a - _cdiv(a, b) * b),
+    }
+
+    def __init__(self, tokens: List[Token]):
+        self.toks = tokens
+        self.pos = 0
+
+    def parse(self) -> int:
+        value = self._ternary()
+        if self.pos != len(self.toks):
+            tok = self.toks[self.pos]
+            raise PreprocessorError(
+                f"line {tok.line}: trailing tokens in #if expression")
+        return value
+
+    def _peek(self) -> Optional[Token]:
+        return self.toks[self.pos] if self.pos < len(self.toks) else None
+
+    def _ternary(self) -> int:
+        cond = self._binary(0)
+        tok = self._peek()
+        if tok is not None and tok.is_punct("?"):
+            self.pos += 1
+            then = self._ternary()
+            tok = self._peek()
+            if tok is None or not tok.is_punct(":"):
+                raise PreprocessorError("missing ':' in #if ?:")
+            self.pos += 1
+            other = self._ternary()
+            return then if cond else other
+        return cond
+
+    def _binary(self, min_prec: int) -> int:
+        left = self._unary()
+        while True:
+            tok = self._peek()
+            if tok is None or tok.kind != "punct" or \
+                    tok.text not in self._BINOPS:
+                return left
+            prec, fn = self._BINOPS[tok.text]
+            if prec < min_prec:
+                return left
+            self.pos += 1
+            right = self._binary(prec + 1)
+            if tok.text in ("/", "%") and right == 0:
+                raise PreprocessorError(
+                    f"line {tok.line}: division by zero in #if")
+            left = fn(left, right)
+
+    def _unary(self) -> int:
+        tok = self._peek()
+        if tok is None:
+            raise PreprocessorError("empty #if expression")
+        if tok.is_punct("!"):
+            self.pos += 1
+            return int(not self._unary())
+        if tok.is_punct("-"):
+            self.pos += 1
+            return -self._unary()
+        if tok.is_punct("+"):
+            self.pos += 1
+            return self._unary()
+        if tok.is_punct("~"):
+            self.pos += 1
+            return ~self._unary()
+        if tok.is_punct("("):
+            self.pos += 1
+            value = self._ternary()
+            closing = self._peek()
+            if closing is None or not closing.is_punct(")"):
+                raise PreprocessorError("missing ')' in #if expression")
+            self.pos += 1
+            return value
+        if tok.kind == "int":
+            self.pos += 1
+            return decode_int(tok.text)[0]
+        if tok.kind == "char":
+            self.pos += 1
+            return ord(tok.text[1:-1].replace("\\", "")[0])
+        raise PreprocessorError(
+            f"line {tok.line}: bad token {tok.text!r} in #if expression")
+
+
+def _cdiv(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def preprocess(source: str, defines: Optional[Mapping[str, object]] = None,
+               headers: Optional[Mapping[str, str]] = None) -> List[Token]:
+    """One-shot helper: preprocess *source* with *defines* and *headers*."""
+    return Preprocessor(defines, headers).process(source)

@@ -1,0 +1,131 @@
+"""Flexible-specialization scaffolding (the ``gpu::ctrt`` equivalent).
+
+The dissertation's Appendix B kernel toggles each parameter between
+run-time evaluation and compile-time specialization with ``CT_``-prefixed
+boolean macros plus C++ template utilities (``gpu::ctrt``).  Our kernel
+language keeps the preprocessor but not C++ namespaces/templates, so the
+same pattern is expressed purely with macros; this module *generates*
+that boilerplate so application kernels stay readable.
+
+For a parameter ``FOO`` with run-time expression ``fooArg``,
+:func:`ctrt_block` emits::
+
+    #ifdef CT_FOO
+    #define FOO_VAL (FOO)
+    #else
+    #define FOO_VAL (fooArg)
+    #endif
+
+Kernels then use ``FOO_VAL`` everywhere.  Specializing = compiling with
+``defines={"CT_FOO": 1, "FOO": 128}``; leaving both out keeps the kernel
+fully run-time evaluated.  One source, both regimes — the paper's core
+productivity claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+
+def ctrt_block(params: Mapping[str, str]) -> str:
+    """Generate CT/RT toggle scaffolding for *params*.
+
+    Args:
+        params: mapping of macro name -> run-time fallback expression,
+            e.g. ``{"LOOP_COUNT": "loopCount", "STRIDE": "argA * argB"}``.
+
+    Returns:
+        Preprocessor text to paste ahead of the kernel definition.
+    """
+    lines = ["// --- generated CT/RT parameter toggles ---"]
+    for name, runtime_expr in params.items():
+        lines.append(f"#ifdef CT_{name}")
+        lines.append(f"#define {name}_VAL ({name})")
+        lines.append("#else")
+        lines.append(f"#define {name}_VAL ({runtime_expr})")
+        lines.append("#endif")
+    lines.append("// --- end generated toggles ---")
+    return "\n".join(lines) + "\n"
+
+
+def specialization_defines(values: Mapping[str, object],
+                           enable: Optional[Iterable[str]] = None
+                           ) -> Dict[str, object]:
+    """Build the ``-D`` dictionary that specializes *values*.
+
+    Args:
+        values: parameter name -> concrete value.
+        enable: subset of parameter names to specialize (default: all).
+            Everything else stays run-time evaluated — the mixed regimes
+            of the dissertation's Appendix B kernel.
+
+    Returns:
+        defines suitable for :func:`repro.kernelc.nvcc`, containing both
+        the ``CT_NAME`` toggle and the ``NAME`` value for each enabled
+        parameter.
+    """
+    chosen = set(values) if enable is None else set(enable)
+    defines: Dict[str, object] = {}
+    for name in chosen:
+        if name not in values:
+            raise KeyError(f"no value supplied for parameter {name!r}")
+        defines[f"CT_{name}"] = 1
+        defines[name] = values[name]
+    return defines
+
+
+def specialize(source: str, entry: str, arch: str = "sm_20",
+               headers=None, **values):
+    """Source-to-source specialization (the Appendix-F ``specialize()``).
+
+    §4.4 sketches the alternative to ``-D`` definitions for toolchains
+    that compile from source at run time (OpenCL, later CUDA): replace
+    the identifiers *textually* before compilation.  This helper does
+    exactly that — each keyword argument's name is substituted with its
+    value as a source token — then compiles and returns the requested
+    kernel.
+
+    Example::
+
+        kernel = specialize(SRC, "linearRowFilter", KSIZE=7, ANCHOR=3)
+    """
+    import re
+
+    from repro.kernelc.compiler import nvcc
+
+    rewritten = source
+    for name, value in values.items():
+        if isinstance(value, bool):
+            token = "1" if value else "0"
+        elif isinstance(value, float):
+            token = repr(value) + "f"
+        else:
+            token = str(value)
+        rewritten = re.sub(rf"\b{re.escape(name)}\b", token, rewritten)
+    module = nvcc(rewritten, arch=arch, headers=headers)
+    return module.kernel(entry)
+
+
+#: The demonstration kernel of Listings 4.1/4.2 and Appendix B, written
+#: once and compilable in any mixture of RE and SK regimes.
+FLEXIBLE_MATHTEST = ctrt_block({
+    "LOOP_COUNT": "loopCount",
+    "ARG_A": "argA",
+    "ARG_B": "argB",
+    "BLOCK_DIM_X": "blockDim.x",
+}) + """
+__global__ void mathTest(int* in, int* out, int argA, int argB,
+                         int loopCount) {
+    int acc = 0;
+
+    const unsigned int stride = ARG_A_VAL * ARG_B_VAL;
+    const unsigned int offset = blockIdx.x * BLOCK_DIM_X_VAL + threadIdx.x;
+
+    for (int i = 0; i < LOOP_COUNT_VAL; i++) {
+        acc += *(in + offset + i * stride);
+    }
+
+    *(out + offset) = acc;
+    return;
+}
+"""

@@ -1,0 +1,63 @@
+"""Plain-text table formatting for the benchmark harness.
+
+Every bench prints its table in the dissertation's row/column layout so
+EXPERIMENTS.md can compare paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None,
+                 note: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def emit(name: str, text: str, results_dir: Optional[str] = None) -> str:
+    """Print a table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    if results_dir is None:
+        results_dir = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "benchmarks",
+            "results")
+    try:
+        os.makedirs(results_dir, exist_ok=True)
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+    except OSError:
+        pass
+    return text
+
+
+def speedup(baseline: float, measured: float) -> float:
+    """baseline/measured, guarding zero."""
+    return baseline / measured if measured > 0 else float("inf")

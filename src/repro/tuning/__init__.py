@@ -1,0 +1,17 @@
+"""Configuration-space exploration (the autotuning companion of §3.2).
+
+Kernel specialization makes implementation parameters cheap to change
+(a recompile instead of a rewrite); this package supplies the sweep
+machinery that finds per-(problem, device) optima and the
+percent-of-peak analyses behind Tables 6.13, 6.15-6.18, 6.20-6.22 and
+Figures 6.1/6.2.
+"""
+
+from repro.tuning.sweep import SweepRecord, Sweeper, best_record
+from repro.tuning.grids import (percent_of_peak, peak_grid_text,
+                                contour_series)
+from repro.tuning.app_sweeps import (piv_sweep, tm_sweep, bp_sweep)
+
+__all__ = ["Sweeper", "SweepRecord", "best_record", "percent_of_peak",
+           "peak_grid_text", "contour_series", "piv_sweep", "tm_sweep",
+           "bp_sweep"]

@@ -1,0 +1,97 @@
+"""Application-specific sweep adapters.
+
+Each builds the workload once and evaluates configurations with sampled
+(non-functional) launches, which is how autotuning over the simulator
+stays affordable: a handful of representative blocks per configuration,
+extrapolated by the timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.apps.backprojection import Backprojector, BPConfig, BPProblem
+from repro.apps.piv import PIVConfig, PIVProblem, PIVProcessor
+from repro.apps.template_matching import (MatchConfig, MatchProblem,
+                                          TemplateMatcher)
+from repro.gpupf.cache import KernelCache
+from repro.gpusim import DeviceSpec, GPU
+from repro.tuning.sweep import SweepRecord, Sweeper, grid_configs
+
+_SHARED_CACHE = KernelCache()
+
+
+def piv_sweep(problem: PIVProblem, device: DeviceSpec,
+              img_a: np.ndarray, img_b: np.ndarray,
+              rb_values: Iterable[int], thread_values: Iterable[int],
+              variant: str = "tree", specialize: bool = True,
+              sample_blocks: int = 2,
+              cache: Optional[KernelCache] = None) -> List[SweepRecord]:
+    """Sweep (rb, threads) for one PIV problem on one device."""
+    cache = cache or _SHARED_CACHE
+
+    def run(config: dict) -> SweepRecord:
+        cfg = PIVConfig(variant=variant, rb=config["rb"],
+                        threads=config["threads"],
+                        specialize=specialize, functional=False,
+                        sample_blocks=sample_blocks)
+        proc = PIVProcessor(problem, cfg, device=device, cache=cache)
+        result = proc.run(img_a, img_b)
+        return SweepRecord(config=config, seconds=result.kernel_seconds,
+                           reg_count=result.reg_count,
+                           occupancy=result.occupancy)
+
+    sweeper = Sweeper(run)
+    return sweeper.sweep(grid_configs(rb=list(rb_values),
+                                      threads=list(thread_values)))
+
+
+def tm_sweep(problem: MatchProblem, template: np.ndarray,
+             frame: np.ndarray, tile_sizes, thread_values,
+             device: DeviceSpec, specialize: bool = True,
+             sample_blocks: int = 2,
+             cache: Optional[KernelCache] = None) -> List[SweepRecord]:
+    """Sweep (tile, threads) for one template-matching problem."""
+    cache = cache or _SHARED_CACHE
+
+    def run(config: dict) -> SweepRecord:
+        tw, th = config["tile"]
+        cfg = MatchConfig(tile_w=tw, tile_h=th,
+                          threads=config["threads"],
+                          specialize=specialize, functional=False,
+                          sample_blocks=sample_blocks)
+        matcher = TemplateMatcher(problem, template, cfg, device=device,
+                                  cache=cache)
+        result = matcher.match(frame)
+        return SweepRecord(config=config,
+                           seconds=result.kernel_seconds,
+                           reg_count=matcher.numerator_reg_count())
+
+    sweeper = Sweeper(run)
+    return sweeper.sweep(grid_configs(tile=list(tile_sizes),
+                                      threads=list(thread_values)))
+
+
+def bp_sweep(problem: BPProblem, projections: np.ndarray,
+             block_shapes, zb_values, device: DeviceSpec,
+             specialize: bool = True, sample_blocks: int = 2,
+             cache: Optional[KernelCache] = None) -> List[SweepRecord]:
+    """Sweep (block shape, zb) for a backprojection problem."""
+    cache = cache or _SHARED_CACHE
+
+    def run(config: dict) -> SweepRecord:
+        bx, by = config["block"]
+        cfg = BPConfig(block_x=bx, block_y=by, zb=config["zb"],
+                       specialize=specialize, functional=False,
+                       sample_blocks=sample_blocks)
+        bp = Backprojector(problem, cfg, device=device, cache=cache)
+        result = bp.run(projections)
+        return SweepRecord(config=config, seconds=result.kernel_seconds,
+                           reg_count=result.reg_count,
+                           occupancy=result.occupancy)
+
+    sweeper = Sweeper(run)
+    return sweeper.sweep(grid_configs(block=list(block_shapes),
+                                      zb=list(zb_values)))

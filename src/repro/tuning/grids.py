@@ -1,0 +1,63 @@
+"""Percent-of-peak grids and contour series (Tables 6.21/6.22, Figures
+6.1/6.2).
+
+The dissertation's closing analysis shows that *no fixed configuration
+is optimal everywhere*: each (problem, device) pair has its own peak,
+and clamping a parameter costs a measurable fraction of it.  These
+helpers turn sweep records into that presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.tuning.sweep import SweepRecord, best_record
+
+
+def percent_of_peak(records: Sequence[SweepRecord], row_key: str,
+                    col_key: str):
+    """(rows, cols, grid) where grid[i][j] = % of the sweep's peak.
+
+    Invalid (unlaunchable) cells are None.
+    """
+    valid = [r for r in records if r.valid]
+    peak = best_record(list(records)).seconds
+    rows = sorted({r.config[row_key] for r in records})
+    cols = sorted({r.config[col_key] for r in records})
+    grid: List[List[Optional[float]]] = [
+        [None] * len(cols) for _ in rows]
+    for r in records:
+        i = rows.index(r.config[row_key])
+        j = cols.index(r.config[col_key])
+        if r.valid:
+            grid[i][j] = 100.0 * peak / r.seconds
+    return rows, cols, grid
+
+
+def peak_grid_text(records, row_key, col_key, row_label=None,
+                   col_label=None) -> Tuple[List[str], List[List]]:
+    """Headers+rows for reporting.format_table: % of peak per cell."""
+    rows, cols, grid = percent_of_peak(records, row_key, col_key)
+    headers = [f"{row_label or row_key}\\{col_label or col_key}"] + \
+        [str(c) for c in cols]
+    body = []
+    for value, line in zip(rows, grid):
+        body.append([value] + [("-" if cell is None else f"{cell:.0f}%")
+                               for cell in line])
+    return headers, body
+
+
+def contour_series(records, row_key, col_key):
+    """Figure-style series: one (row_value, [(col, pct), ...]) per row.
+
+    This is the printable equivalent of the Figure 6.1/6.2 contour
+    plots — each series traces relative performance along the thread
+    axis for one register-count level.
+    """
+    rows, cols, grid = percent_of_peak(records, row_key, col_key)
+    series = []
+    for value, line in zip(rows, grid):
+        pts = [(c, round(p, 1)) for c, p in zip(cols, line)
+               if p is not None]
+        series.append((value, pts))
+    return series

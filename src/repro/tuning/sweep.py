@@ -1,0 +1,64 @@
+"""Generic configuration sweep machinery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class SweepRecord:
+    """One evaluated configuration point."""
+
+    config: dict
+    seconds: float
+    reg_count: int = 0
+    occupancy: float = 0.0
+    valid: bool = True
+    error: str = ""
+
+    def key(self) -> Tuple:
+        return tuple(sorted(self.config.items()))
+
+
+class Sweeper:
+    """Evaluates a run function over a configuration grid.
+
+    The run function receives one config dict and returns a
+    :class:`SweepRecord`; configurations that cannot launch (occupancy
+    failures — a real phenomenon the dissertation's sweeps also hit)
+    come back ``valid=False`` and stay in the record list so coverage
+    tables can show the holes.
+    """
+
+    def __init__(self, run: Callable[[dict], SweepRecord]):
+        self.run = run
+        self.records: List[SweepRecord] = []
+
+    def sweep(self, configs: Iterable[dict]) -> List[SweepRecord]:
+        for config in configs:
+            try:
+                record = self.run(dict(config))
+            except Exception as exc:  # occupancy/compile failures
+                record = SweepRecord(config=dict(config),
+                                     seconds=float("inf"), valid=False,
+                                     error=f"{type(exc).__name__}: {exc}")
+            self.records.append(record)
+        return self.records
+
+
+def best_record(records: List[SweepRecord]) -> SweepRecord:
+    """The fastest valid record."""
+    valid = [r for r in records if r.valid]
+    if not valid:
+        raise ValueError("no configuration in the sweep could run: "
+                         + "; ".join(r.error for r in records[:3]))
+    return min(valid, key=lambda r: r.seconds)
+
+
+def grid_configs(**axes) -> List[dict]:
+    """Cartesian product of named axes into config dicts."""
+    configs: List[dict] = [{}]
+    for name, values in axes.items():
+        configs = [dict(c, **{name: v}) for c in configs for v in values]
+    return configs

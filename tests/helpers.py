@@ -1,0 +1,66 @@
+"""Shared test utilities: compile-and-run harness for kernel snippets."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gpusim import GPU, TESLA_C1060, TESLA_C2070
+from repro.kernelc import nvcc
+
+
+class KernelHarness:
+    """Compile a kernel and run it with NumPy arrays as buffers.
+
+    Array arguments are copied to the device before launch and read
+    back after; scalars pass through.  Returns the output arrays.
+    """
+
+    def __init__(self, source: str, kernel: Optional[str] = None,
+                 defines: Optional[Dict[str, object]] = None,
+                 arch: str = "sm_20", opt_level: int = 3,
+                 spec=None, headers=None):
+        self.module = nvcc(source, defines=defines, arch=arch,
+                           opt_level=opt_level, headers=headers)
+        if kernel is None:
+            kernel = next(iter(self.module.kernels))
+        self.kernel = self.module.kernel(kernel)
+        if spec is None:
+            spec = TESLA_C1060 if arch == "sm_13" else TESLA_C2070
+        self.gpu = GPU(spec)
+
+    def __call__(self, grid, block, *args, dynamic_smem: int = 0,
+                 const: Optional[Dict[str, np.ndarray]] = None):
+        """Run the kernel; returns (outputs, launch_result).
+
+        ``args`` entries that are ndarrays are treated as in/out
+        buffers; their post-launch contents are returned in order.
+        """
+        if const:
+            for name, array in const.items():
+                self.gpu.memcpy_to_symbol(self.module, name, array)
+        dev_args = []
+        buffers: List[Tuple[int, np.ndarray]] = []
+        for a in args:
+            if isinstance(a, np.ndarray):
+                addr = self.gpu.alloc_array(a)
+                buffers.append((addr, a))
+                dev_args.append(addr)
+            else:
+                dev_args.append(a)
+        result = self.gpu.launch(self.kernel, grid, block, dev_args,
+                                 dynamic_smem=dynamic_smem)
+        outputs = [self.gpu.memcpy_dtoh(addr, arr.dtype, arr.size)
+                   .reshape(arr.shape)
+                   for addr, arr in buffers]
+        return outputs, result
+
+
+def run_kernel(source: str, grid, block, *args, **kwargs):
+    """One-shot convenience wrapper around :class:`KernelHarness`."""
+    const = kwargs.pop("const", None)
+    dynamic_smem = kwargs.pop("dynamic_smem", 0)
+    harness = KernelHarness(source, **kwargs)
+    return harness(grid, block, *args, dynamic_smem=dynamic_smem,
+                   const=const)

@@ -1,0 +1,75 @@
+"""CPU/FPGA baseline models and the reporting helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cpu import CPUSpec, XEON_2008, cpu_time
+from repro.baselines.fpga import FPGASpec, PIV_FPGA, fpga_piv_time
+from repro.reporting import format_table, speedup
+
+
+class TestCPUModel:
+    def test_compute_bound_scales_with_threads(self):
+        one = cpu_time(XEON_2008, 1e9, 0, threads=1)
+        four = cpu_time(XEON_2008, 1e9, 0, threads=4)
+        assert one / four == pytest.approx(4.0, rel=1e-6)
+
+    def test_threads_capped_at_cores(self):
+        four = cpu_time(XEON_2008, 1e9, 0, threads=4)
+        sixteen = cpu_time(XEON_2008, 1e9, 0, threads=16)
+        assert four == sixteen
+
+    def test_memory_bound_ignores_threads(self):
+        a = cpu_time(XEON_2008, 1.0, 1e9, threads=1)
+        b = cpu_time(XEON_2008, 1.0, 1e9, threads=4)
+        assert a == b
+
+    @settings(max_examples=50)
+    @given(flops=st.floats(1, 1e12), nbytes=st.floats(0, 1e12))
+    def test_time_positive_and_monotone(self, flops, nbytes):
+        t = cpu_time(XEON_2008, flops, nbytes)
+        assert t > 0
+        assert cpu_time(XEON_2008, flops * 2, nbytes) >= t
+
+
+class TestFPGAModel:
+    def test_content_independent(self):
+        assert fpga_piv_time(PIV_FPGA, 100, 256, 81) == \
+            fpga_piv_time(PIV_FPGA, 100, 256, 81)
+
+    def test_linear_in_windows(self):
+        t1 = fpga_piv_time(PIV_FPGA, 100, 256, 81) - PIV_FPGA.frame_overhead
+        t2 = fpga_piv_time(PIV_FPGA, 200, 256, 81) - PIV_FPGA.frame_overhead
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_pe_parallelism_ceiling(self):
+        """Below the PE count extra offsets are free (same passes)."""
+        t_8 = fpga_piv_time(PIV_FPGA, 10, 64, 8)
+        t_16 = fpga_piv_time(PIV_FPGA, 10, 64, 16)
+        t_17 = fpga_piv_time(PIV_FPGA, 10, 64, 17)
+        assert t_8 == t_16
+        assert t_17 > t_16
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]],
+                            title="T", note="n")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert lines[-1].startswith("note:")
+        widths = {len(l) for l in lines[1:4]}
+        assert len(widths) == 1  # aligned
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000123], [1234567.0], [1.5]])
+        assert "0.000123" in text
+        assert "1.23e+06" in text
+        assert "1.5" in text
+
+    def test_speedup_guards_zero(self):
+        assert speedup(1.0, 0.0) == float("inf")
+        assert speedup(2.0, 1.0) == 2.0

@@ -1,0 +1,108 @@
+"""Coalescing and bank-conflict model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import TESLA_C1060, TESLA_C2070
+from repro.gpusim.coalescing import (global_transactions,
+                                     shared_conflict_factor)
+
+FULL = np.ones(32, dtype=bool)
+
+
+def seq_addrs(base=0, stride=4):
+    return (base + np.arange(32, dtype=np.int64) * stride).astype(np.uint64)
+
+
+class TestGlobalCoalescing:
+    def test_sequential_cc20_one_line(self):
+        assert global_transactions(seq_addrs(), FULL, 4, TESLA_C2070) == 1
+
+    def test_sequential_cc13_two_halfwarps(self):
+        # Aligned 128B of 4B accesses: one 64B segment per half-warp
+        # after segment-size reduction -> 2 transactions.
+        assert global_transactions(seq_addrs(), FULL, 4, TESLA_C1060) == 2
+
+    def test_misaligned_cc20_two_lines(self):
+        assert global_transactions(seq_addrs(base=64), FULL, 4,
+                                   TESLA_C2070) == 2
+
+    def test_strided_worst_case(self):
+        addrs = seq_addrs(stride=128)
+        assert global_transactions(addrs, FULL, 4, TESLA_C2070) == 32
+        assert global_transactions(addrs, FULL, 4, TESLA_C1060) == 32
+
+    def test_same_address_broadcast(self):
+        addrs = np.zeros(32, dtype=np.uint64)
+        assert global_transactions(addrs, FULL, 4, TESLA_C2070) == 1
+
+    def test_inactive_lanes_ignored(self):
+        addrs = seq_addrs(stride=128)
+        mask = np.zeros(32, dtype=bool)
+        mask[0] = True
+        assert global_transactions(addrs, mask, 4, TESLA_C2070) == 1
+
+    def test_no_active_lanes(self):
+        assert global_transactions(seq_addrs(), np.zeros(32, bool), 4,
+                                   TESLA_C2070) == 0
+
+    @settings(max_examples=100)
+    @given(stride=st.integers(1, 64), base=st.integers(0, 256))
+    def test_monotone_vs_perfect(self, stride, base):
+        """Any access pattern costs at least the sequential pattern."""
+        addrs = seq_addrs(base=base * 4, stride=stride * 4)
+        for dev in (TESLA_C1060, TESLA_C2070):
+            txn = global_transactions(addrs, FULL, 4, dev)
+            perfect = global_transactions(seq_addrs(), FULL, 4, dev)
+            assert txn >= perfect
+
+    def test_float8_double_counts_straddle(self):
+        addrs = seq_addrs(stride=8)  # 256 bytes of doubles
+        assert global_transactions(addrs, FULL, 8, TESLA_C2070) == 2
+
+
+class TestSharedBanks:
+    def test_sequential_no_conflict(self):
+        addrs = seq_addrs()
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C1060) == 1
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C2070) == 1
+
+    def test_stride_16_conflicts_on_16_banks(self):
+        addrs = seq_addrs(stride=64)  # word stride 16
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C1060) == 16
+        # 32 banks: the 32 lanes hit 2 banks with 16 distinct words each.
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C2070) == 16
+
+    def test_stride_2_conflict_differs_by_generation(self):
+        addrs = seq_addrs(stride=8)  # word stride 2: even banks only
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C1060) == 2
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C2070) == 2
+
+    def test_stride_32_worst_on_fermi(self):
+        addrs = seq_addrs(stride=128)  # word stride 32
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C2070) == 32
+
+    def test_broadcast_same_word(self):
+        addrs = np.full(32, 64, dtype=np.uint64)
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C1060) == 1
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C2070) == 1
+
+    def test_odd_stride_conflict_free(self):
+        """Classic trick: padding to an odd stride removes conflicts."""
+        addrs = seq_addrs(stride=68)  # word stride 17
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C1060) == 1
+        assert shared_conflict_factor(addrs, FULL, 4, TESLA_C2070) == 1
+
+    @settings(max_examples=100)
+    @given(words=st.lists(st.integers(0, 1023), min_size=1, max_size=32))
+    def test_factor_bounds(self, words):
+        addrs = np.zeros(32, dtype=np.uint64)
+        mask = np.zeros(32, dtype=bool)
+        for i, w in enumerate(words):
+            addrs[i] = w * 4
+            mask[i] = True
+        for dev in (TESLA_C1060, TESLA_C2070):
+            f = shared_conflict_factor(addrs, mask, 4, dev)
+            assert 1 <= f <= len(words)

@@ -1,0 +1,241 @@
+"""Codegen edge cases: operators, scoping, and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.kernelc import CompileError, nvcc
+from tests.helpers import run_kernel
+
+rng = np.random.default_rng(21)
+
+
+class TestOperators:
+    def test_postfix_increment_value(self):
+        src = """
+        __global__ void k(int* out) {
+            int i = 5;
+            out[0] = i++;
+            out[1] = i;
+            out[2] = ++i;
+            out[3] = i--;
+            out[4] = --i;
+        }
+        """
+        out = np.zeros(5, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        np.testing.assert_array_equal(out_, [5, 6, 7, 7, 5])
+
+    def test_comma_operator(self):
+        src = """
+        __global__ void k(int* out) {
+            int a = 0, b = 0;
+            out[0] = (a = 3, b = 4, a + b);
+        }
+        """
+        out = np.zeros(1, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        assert out_[0] == 7
+
+    def test_nested_ternary(self):
+        src = """
+        __global__ void k(const int* x, int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n)
+                out[i] = x[i] > 10 ? 2 : x[i] > 5 ? 1 : 0;
+        }
+        """
+        x = np.array([3, 7, 15, 5, 11], dtype=np.int32)
+        out = np.zeros(5, np.int32)
+        (_, out_), _ = run_kernel(src, 1, 8, x, out, 5)
+        np.testing.assert_array_equal(out_, [0, 1, 2, 0, 2])
+
+    def test_ternary_with_side_effects(self):
+        """Non-pure arms must lower through control flow, not selp."""
+        src = """
+        __global__ void k(int* out, int flag) {
+            int a = 0;
+            int v = flag ? (a = 10, a + 1) : (a = 20, a + 2);
+            out[0] = v;
+            out[1] = a;
+        }
+        """
+        out = np.zeros(2, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out, 1)
+        np.testing.assert_array_equal(out_, [11, 10])
+        out = np.zeros(2, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out, 0)
+        np.testing.assert_array_equal(out_, [22, 20])
+
+    def test_compound_assignment_through_memory(self):
+        src = """
+        __global__ void k(int* out) {
+            out[threadIdx.x] = 10;
+            out[threadIdx.x] += 5;
+            out[threadIdx.x] *= 2;
+            out[threadIdx.x] >>= 1;
+        }
+        """
+        out = np.zeros(4, np.int32)
+        (out_,), _ = run_kernel(src, 1, 4, out)
+        np.testing.assert_array_equal(out_, [15, 15, 15, 15])
+
+    def test_pointer_difference(self):
+        src = """
+        __global__ void k(const float* a, int* out, int n) {
+            const float* p = a + n;
+            out[0] = (int)(p - a);
+        }
+        """
+        out = np.zeros(1, np.int32)
+        (_, out_), _ = run_kernel(src, 1, 1,
+                                  np.zeros(16, np.float32), out, 7)
+        assert out_[0] == 7
+
+    def test_address_of_array_element(self):
+        src = """
+        __global__ void k(float* out, int n) {
+            float* p = &out[n];
+            *p = 42.0f;
+        }
+        """
+        out = np.zeros(8, np.float32)
+        (out_,), _ = run_kernel(src, 1, 1, out, 3)
+        assert out_[3] == 42.0
+
+    def test_unsigned_comparison_semantics(self):
+        """(unsigned)-1 must compare greater than 1."""
+        src = """
+        __global__ void k(int* out) {
+            unsigned int big = (unsigned int)(-1);
+            out[0] = big > 1u ? 1 : 0;
+            int sbig = -1;
+            out[1] = sbig > 1 ? 1 : 0;
+        }
+        """
+        out = np.zeros(2, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        np.testing.assert_array_equal(out_, [1, 0])
+
+
+class TestScoping:
+    def test_shadowing_in_nested_blocks(self):
+        src = """
+        __global__ void k(int* out) {
+            int x = 1;
+            { int x = 2; out[0] = x; }
+            out[1] = x;
+        }
+        """
+        out = np.zeros(2, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        np.testing.assert_array_equal(out_, [2, 1])
+
+    def test_loop_variable_scoped_to_loop(self):
+        src = """
+        __global__ void k(int* out) {
+            int i = 99;
+            for (int i = 0; i < 3; i++) { }
+            out[0] = i;
+        }
+        """
+        out = np.zeros(1, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        assert out_[0] == 99
+
+    def test_assigning_to_parameter(self):
+        src = """
+        __global__ void k(int* out, int n) {
+            n = n * 2;
+            out[0] = n;
+        }
+        """
+        out = np.zeros(1, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out, 21)
+        assert out_[0] == 42
+
+    def test_two_kernels_in_one_module(self):
+        src = """
+        __global__ void a(int* out) { out[0] = 1; }
+        __global__ void b(int* out) { out[0] = 2; }
+        """
+        mod = nvcc(src)
+        assert set(mod.kernels) == {"a", "b"}
+
+    def test_shared_array_name_reuse_across_scopes(self):
+        src = """
+        __global__ void k(float* out) {
+            { __shared__ float buf[4]; buf[0] = 1.0f;
+              __syncthreads(); out[0] = buf[0]; }
+            { __shared__ float buf[4]; buf[0] = 2.0f;
+              __syncthreads(); out[1] = buf[0]; }
+        }
+        """
+        out = np.zeros(2, np.float32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        np.testing.assert_array_equal(out_, [1.0, 2.0])
+
+
+class TestDiagnostics:
+    def test_unknown_identifier_mentions_specialization(self):
+        src = "__global__ void k(float* o) { o[0] = (float)MISSING; }"
+        with pytest.raises(CompileError, match="specialization"):
+            nvcc(src)
+
+    def test_dynamic_shared_size_rejected_helpfully(self):
+        src = """
+        __global__ void k(float* o, int n) {
+            __shared__ float buf[n];
+            o[0] = buf[0];
+        }
+        """
+        with pytest.raises(CompileError, match="compile-time"):
+            nvcc(src)
+
+    def test_break_outside_loop(self):
+        src = "__global__ void k(float* o) { break; }"
+        with pytest.raises(CompileError, match="break"):
+            nvcc(src)
+
+    def test_kernel_returning_value(self):
+        src = "__global__ void k(float* o) { return 1; }"
+        with pytest.raises(CompileError, match="void"):
+            nvcc(src)
+
+    def test_assign_to_const_constant(self):
+        src = """
+        __global__ void k(float* o) {
+            const int n = 4;
+            n = 5;
+            o[0] = (float)n;
+        }
+        """
+        with pytest.raises(CompileError, match="constant"):
+            nvcc(src)
+
+    def test_constant_recursion_folds(self):
+        """Recursion over compile-time constants converges by folding
+        (the constexpr-like corollary of force-inlining)."""
+        src = """
+        __device__ int fact(int n) {
+            return n <= 1 ? 1 : n * fact(n - 1);
+        }
+        __global__ void k(int* o) { o[0] = fact(5); }
+        """
+        out = np.zeros(1, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        assert out_[0] == 120
+
+    def test_runtime_recursion_rejected(self):
+        src = """
+        __device__ int fact(int n) {
+            return n <= 1 ? 1 : n * fact(n - 1);
+        }
+        __global__ void k(int* o, int n) { o[0] = fact(n); }
+        """
+        with pytest.raises(CompileError, match="recursion|deep"):
+            nvcc(src)
+
+    def test_unknown_kernel_name(self):
+        mod = nvcc("__global__ void k(float* o) { o[0] = 1.0f; }")
+        with pytest.raises(CompileError, match="available"):
+            mod.kernel("nope")

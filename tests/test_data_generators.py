@@ -1,0 +1,91 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.frames import roi_origin, template_sequence, textured_frame
+from repro.data.phantom import (ConeBeamGeometry, forward_project,
+                                shepp_logan_phantom)
+from repro.data.piv import particle_image_pair
+
+
+class TestFrames:
+    def test_textured_frame_range_and_dtype(self):
+        f = textured_frame(40, 60, seed=1)
+        assert f.shape == (40, 60)
+        assert f.dtype == np.float32
+        assert 0.0 <= f.min() and f.max() <= 1.0
+
+    def test_textured_frame_deterministic(self):
+        np.testing.assert_array_equal(textured_frame(20, 20, seed=5),
+                                      textured_frame(20, 20, seed=5))
+
+    def test_template_sequence_shapes(self):
+        frames, tmpl, shifts = template_sequence(60, 80, 16, 12, 5, 7,
+                                                 n_frames=3, seed=2)
+        assert len(frames) == 3 and len(shifts) == 3
+        assert tmpl.shape == (16, 12)
+        assert all(f.shape == (60, 80) for f in frames)
+
+    def test_shifts_within_range(self):
+        _, _, shifts = template_sequence(60, 80, 16, 12, 5, 7,
+                                         n_frames=8, seed=3)
+        for sy, sx in shifts:
+            assert 0 <= sy < 5 and 0 <= sx < 7
+
+    def test_template_found_at_ground_truth(self):
+        """The template content must actually sit at the stated shift."""
+        frames, tmpl, shifts = template_sequence(60, 80, 16, 12, 5, 7,
+                                                 n_frames=2, seed=4)
+        ry0, rx0 = roi_origin(60, 80, 16, 12, 5, 7)
+        for frame, (sy, sx) in zip(frames, shifts):
+            window = frame[ry0 + sy : ry0 + sy + 16,
+                           rx0 + sx : rx0 + sx + 12]
+            # Noise is tiny, so the window nearly equals the template.
+            assert np.abs(window - tmpl).mean() < 0.02
+
+
+class TestPIVPairs:
+    def test_pair_properties(self):
+        a, b = particle_image_pair(40, 60, displacement=(2, 1), seed=1)
+        assert a.shape == b.shape == (40, 60)
+        assert a.dtype == b.dtype == np.float32
+        assert a.max() <= 1.0 and a.min() >= 0.0
+        assert a.std() > 0.01  # particles actually rendered
+
+    def test_displacement_is_recoverable(self):
+        """Global cross-correlation must peak at the displacement."""
+        dy, dx = 3, -2
+        a, b = particle_image_pair(64, 64, displacement=(dy, dx), seed=2)
+        best = None
+        for ty in range(-4, 5):
+            for tx in range(-4, 5):
+                shifted = np.roll(np.roll(b, -ty, 0), -tx, 1)
+                score = float((a[8:-8, 8:-8] * shifted[8:-8, 8:-8]).sum())
+                if best is None or score > best[0]:
+                    best = (score, ty, tx)
+        assert (best[1], best[2]) == (dy, dx)
+
+
+class TestPhantom:
+    def test_phantom_structure(self):
+        vol = shepp_logan_phantom(24)
+        assert vol.shape == (24, 24, 24)
+        assert vol.max() > 0.5  # skull shell present
+        assert vol[0, 0, 0] == 0.0  # corners outside
+
+    def test_forward_projection_shape_and_symmetry(self):
+        vol = shepp_logan_phantom(16)
+        geom = ConeBeamGeometry(n_proj=8, det_u=20, det_v=20)
+        projs = forward_project(vol, geom)
+        assert projs.shape == (8, 20, 20)
+        assert projs.max() > 0
+        # Opposed views of a z-symmetric phantom have similar energy.
+        assert abs(projs[0].sum() - projs[4].sum()) \
+            < 0.2 * abs(projs[0].sum())
+
+    def test_geometry_magnification(self):
+        geom = ConeBeamGeometry(n_proj=4, det_u=16, det_v=16,
+                                source_dist=3.0, det_dist=3.0)
+        assert geom.magnification == 2.0
+        assert len(geom.angles()) == 4

@@ -1,0 +1,323 @@
+"""Functional tests: compile small kernels and compare against NumPy."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import run_kernel
+
+rng = np.random.default_rng(42)
+
+
+class TestArithmetic:
+    def test_vector_add(self):
+        src = """
+        __global__ void vadd(const float* a, const float* b, float* c,
+                             int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) c[i] = a[i] + b[i];
+        }
+        """
+        n = 1000
+        a = rng.random(n).astype(np.float32)
+        b = rng.random(n).astype(np.float32)
+        c = np.zeros(n, np.float32)
+        (a_, b_, c_), _ = run_kernel(src, 8, 128, a, b, c, n)
+        np.testing.assert_array_equal(c_, a + b)
+
+    def test_saxpy(self):
+        src = """
+        __global__ void saxpy(float alpha, const float* x, float* y,
+                              int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) y[i] = alpha * x[i] + y[i];
+        }
+        """
+        n = 257
+        x = rng.random(n).astype(np.float32)
+        y = rng.random(n).astype(np.float32)
+        expected = np.float32(2.5) * x + y
+        (x_, y_), _ = run_kernel(src, 3, 96, np.float32(2.5), x, y, n)
+        np.testing.assert_allclose(y_, expected, rtol=1e-6)
+
+    def test_integer_ops(self):
+        src = """
+        __global__ void iops(const int* a, const int* b, int* out, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) {
+                out[i] = (a[i] * b[i]) + (a[i] - b[i]) - (a[i] & b[i])
+                       + (a[i] | b[i]) + (a[i] ^ b[i]);
+            }
+        }
+        """
+        n = 128
+        a = rng.integers(-1000, 1000, n, dtype=np.int32)
+        b = rng.integers(-1000, 1000, n, dtype=np.int32)
+        out = np.zeros(n, np.int32)
+        (_, _, out_), _ = run_kernel(src, 1, 128, a, b, out, n)
+        expected = (a * b) + (a - b) - (a & b) + (a | b) + (a ^ b)
+        np.testing.assert_array_equal(out_, expected)
+
+    def test_division_c_semantics(self):
+        """Integer division must truncate toward zero, as in C."""
+        src = """
+        __global__ void divk(const int* a, const int* b, int* q, int* r,
+                             int n) {
+            int i = threadIdx.x;
+            if (i < n) { q[i] = a[i] / b[i]; r[i] = a[i] % b[i]; }
+        }
+        """
+        a = np.array([7, -7, 7, -7, 100, -100], dtype=np.int32)
+        b = np.array([2, 2, -2, -2, 3, 3], dtype=np.int32)
+        q = np.zeros(6, np.int32)
+        r = np.zeros(6, np.int32)
+        (_, _, q_, r_), _ = run_kernel(src, 1, 32, a, b, q, r, 6)
+        np.testing.assert_array_equal(q_, [3, -3, -3, 3, 33, -33])
+        np.testing.assert_array_equal(r_, [1, -1, 1, -1, 1, -1])
+
+    def test_unsigned_arithmetic_wraps(self):
+        src = """
+        __global__ void wrap(unsigned int* out) {
+            unsigned int big = 4294967295u;
+            out[threadIdx.x] = big + 2u;
+        }
+        """
+        out = np.zeros(4, np.uint32)
+        (out_,), _ = run_kernel(src, 1, 4, out)
+        np.testing.assert_array_equal(out_, [1, 1, 1, 1])
+
+    def test_shifts(self):
+        src = """
+        __global__ void sh(const int* a, int* out, unsigned int* uout) {
+            int i = threadIdx.x;
+            out[i] = a[i] >> 2;
+            uout[i] = ((unsigned int)a[i]) >> 2;
+        }
+        """
+        a = np.array([-8, 8, -1, 1024], dtype=np.int32)
+        out = np.zeros(4, np.int32)
+        uout = np.zeros(4, np.uint32)
+        (_, out_, uout_), _ = run_kernel(src, 1, 4, a, out, uout)
+        np.testing.assert_array_equal(out_, a >> 2)
+        np.testing.assert_array_equal(uout_, a.view(np.uint32) >> 2)
+
+    def test_math_builtins(self):
+        src = """
+        __global__ void mathk(const float* x, float* out, int n) {
+            int i = threadIdx.x;
+            if (i < n)
+                out[i] = sqrtf(fabsf(x[i])) + fminf(x[i], 0.5f)
+                       + floorf(x[i]) + ceilf(x[i]);
+        }
+        """
+        n = 64
+        x = (rng.random(n).astype(np.float32) - 0.5) * 10
+        out = np.zeros(n, np.float32)
+        (_, out_), _ = run_kernel(src, 1, 64, x, out, n)
+        expected = (np.sqrt(np.abs(x)) + np.minimum(x, np.float32(0.5))
+                    + np.floor(x) + np.ceil(x))
+        np.testing.assert_allclose(out_, expected, rtol=1e-6)
+
+    def test_mul24(self):
+        src = """
+        __global__ void m24(const int* a, const int* b, int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = __mul24(a[i], b[i]);
+        }
+        """
+        a = rng.integers(-(2**20), 2**20, 32, dtype=np.int32)
+        b = rng.integers(-1000, 1000, 32, dtype=np.int32)
+        out = np.zeros(32, np.int32)
+        (_, _, out_), _ = run_kernel(src, 1, 32, a, b, out, 32)
+        np.testing.assert_array_equal(out_, (a.astype(np.int64)
+                                             * b).astype(np.int32))
+
+    def test_ternary_selp(self):
+        src = """
+        __global__ void sel(const float* x, float* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = x[i] > 0.5f ? x[i] : 1.0f - x[i];
+        }
+        """
+        x = rng.random(40).astype(np.float32)
+        out = np.zeros(40, np.float32)
+        (_, out_), _ = run_kernel(src, 1, 64, x, out, 40)
+        np.testing.assert_allclose(
+            out_, np.where(x > 0.5, x, np.float32(1.0) - x), rtol=1e-6)
+
+    def test_float_double_conversion(self):
+        src = """
+        __global__ void conv(const float* x, double* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = (double)x[i] * 2.0;
+        }
+        """
+        x = rng.random(16).astype(np.float32)
+        out = np.zeros(16, np.float64)
+        (_, out_), _ = run_kernel(src, 1, 16, x, out, 16)
+        np.testing.assert_allclose(out_, x.astype(np.float64) * 2.0)
+
+    def test_float_to_int_truncates(self):
+        src = """
+        __global__ void f2i(const float* x, int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = (int)x[i];
+        }
+        """
+        x = np.array([1.9, -1.9, 0.5, -0.5], dtype=np.float32)
+        out = np.zeros(4, np.int32)
+        (_, out_), _ = run_kernel(src, 1, 4, x, out, 4)
+        np.testing.assert_array_equal(out_, [1, -1, 0, 0])
+
+
+class TestThreadGeometry:
+    def test_2d_block(self):
+        src = """
+        __global__ void grid2d(int* out, int width) {
+            int x = blockIdx.x * blockDim.x + threadIdx.x;
+            int y = blockIdx.y * blockDim.y + threadIdx.y;
+            out[y * width + x] = y * 1000 + x;
+        }
+        """
+        out = np.zeros(32 * 16, np.int32)
+        (out_,), _ = run_kernel(src, (4, 4), (8, 4), out, 32)
+        xs, ys = np.meshgrid(np.arange(32), np.arange(16))
+        np.testing.assert_array_equal(out_.reshape(16, 32),
+                                      ys * 1000 + xs)
+
+    def test_partial_warp(self):
+        """Blocks whose size is not a multiple of 32 must still work."""
+        src = """
+        __global__ void pw(int* out) {
+            out[blockIdx.x * blockDim.x + threadIdx.x] = threadIdx.x;
+        }
+        """
+        out = np.full(2 * 17, -1, np.int32)
+        (out_,), _ = run_kernel(src, 2, 17, out)
+        np.testing.assert_array_equal(out_.reshape(2, 17),
+                                      np.tile(np.arange(17), (2, 1)))
+
+    def test_grid_dim_builtin(self):
+        src = """
+        __global__ void gd(int* out) {
+            if (threadIdx.x == 0) out[blockIdx.x] = gridDim.x;
+        }
+        """
+        out = np.zeros(5, np.int32)
+        (out_,), _ = run_kernel(src, 5, 32, out)
+        np.testing.assert_array_equal(out_, [5] * 5)
+
+
+class TestLoops:
+    def test_runtime_loop(self):
+        src = """
+        __global__ void loop(const float* x, float* out, int n) {
+            float acc = 0.0f;
+            for (int i = 0; i < n; i++) acc += x[i];
+            out[threadIdx.x] = acc;
+        }
+        """
+        x = rng.random(37).astype(np.float32)
+        out = np.zeros(1, np.float32)
+        (_, out_), _ = run_kernel(src, 1, 1, x, out, 37)
+        np.testing.assert_allclose(out_[0], np.sum(x), rtol=1e-5)
+
+    def test_while_loop(self):
+        src = """
+        __global__ void wl(int* out, int n) {
+            int v = n;
+            int steps = 0;
+            while (v > 1) {
+                if (v % 2 == 0) v = v / 2; else v = 3 * v + 1;
+                steps++;
+            }
+            out[threadIdx.x] = steps;
+        }
+        """
+        out = np.zeros(1, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out, 27)
+        assert out_[0] == 111  # Collatz steps for 27
+
+    def test_do_while(self):
+        src = """
+        __global__ void dw(int* out) {
+            int i = 0;
+            do { i++; } while (i < 5);
+            out[threadIdx.x] = i;
+        }
+        """
+        out = np.zeros(1, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        assert out_[0] == 5
+
+    def test_break_and_continue(self):
+        src = """
+        __global__ void bc(const int* x, int* out, int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) {
+                if (x[i] < 0) break;
+                if (x[i] % 2 == 1) continue;
+                acc += x[i];
+            }
+            out[threadIdx.x] = acc;
+        }
+        """
+        x = np.array([2, 3, 4, 6, -1, 8], dtype=np.int32)
+        out = np.zeros(1, np.int32)
+        (_, out_), _ = run_kernel(src, 1, 1, x, out, 6)
+        assert out_[0] == 2 + 4 + 6
+
+    def test_nested_loops(self):
+        src = """
+        __global__ void nest(int* out, int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j <= i; j++)
+                    acc += 1;
+            out[threadIdx.x] = acc;
+        }
+        """
+        out = np.zeros(1, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out, 10)
+        assert out_[0] == 55
+
+
+class TestDeviceFunctions:
+    def test_inline_call(self):
+        src = """
+        __device__ float square(float x) { return x * x; }
+        __global__ void k(const float* a, float* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = square(a[i]) + square(2.0f);
+        }
+        """
+        a = rng.random(16).astype(np.float32)
+        out = np.zeros(16, np.float32)
+        (_, out_), _ = run_kernel(src, 1, 16, a, out, 16)
+        np.testing.assert_allclose(out_, a * a + 4.0, rtol=1e-6)
+
+    def test_early_return_in_device_fn(self):
+        src = """
+        __device__ int clampz(int x, int hi) {
+            if (x < 0) return 0;
+            if (x > hi) return hi;
+            return x;
+        }
+        __global__ void k(const int* a, int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = clampz(a[i], 10);
+        }
+        """
+        a = np.array([-5, 3, 20, 10, 0], dtype=np.int32)
+        out = np.zeros(5, np.int32)
+        (_, out_), _ = run_kernel(src, 1, 32, a, out, 5)
+        np.testing.assert_array_equal(out_, [0, 3, 10, 10, 0])
+
+    def test_nested_device_calls(self):
+        src = """
+        __device__ int dbl(int x) { return x + x; }
+        __device__ int quad(int x) { return dbl(dbl(x)); }
+        __global__ void k(int* out) { out[0] = quad(3); }
+        """
+        out = np.zeros(1, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        assert out_[0] == 12

@@ -1,0 +1,157 @@
+"""SIMT divergence semantics: masked execution and IPDOM reconvergence."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.executor import SimError
+from tests.helpers import run_kernel
+
+rng = np.random.default_rng(7)
+
+
+class TestDivergence:
+    def test_if_else_divergent(self):
+        src = """
+        __global__ void div(const int* x, int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) {
+                if (x[i] % 2 == 0) out[i] = x[i] * 10;
+                else out[i] = -x[i];
+            }
+        }
+        """
+        x = rng.integers(0, 100, 64, dtype=np.int32)
+        out = np.zeros(64, np.int32)
+        (_, out_), res = run_kernel(src, 1, 64, x, out, 64)
+        np.testing.assert_array_equal(out_, np.where(x % 2 == 0,
+                                                     x * 10, -x))
+        assert sum(w.divergent_branches for s in res.stats
+                   for w in s.warps) > 0
+
+    def test_nested_divergence(self):
+        src = """
+        __global__ void nest(const int* x, int* out, int n) {
+            int i = threadIdx.x;
+            if (i >= n) return;
+            if (x[i] > 50) {
+                if (x[i] > 75) out[i] = 3;
+                else out[i] = 2;
+            } else {
+                if (x[i] > 25) out[i] = 1;
+                else out[i] = 0;
+            }
+        }
+        """
+        x = rng.integers(0, 101, 96, dtype=np.int32)
+        out = np.full(96, -1, np.int32)
+        (_, out_), _ = run_kernel(src, 1, 96, x, out, 96)
+        expected = np.select([x > 75, x > 50, x > 25],
+                             [3, 2, 1], default=0)
+        np.testing.assert_array_equal(out_, expected)
+
+    def test_divergent_loop_trip_counts(self):
+        """Each lane loops a different number of times."""
+        src = """
+        __global__ void dl(const int* n, int* out) {
+            int i = threadIdx.x;
+            int acc = 0;
+            for (int j = 0; j < n[i]; j++) acc += j;
+            out[i] = acc;
+        }
+        """
+        n = rng.integers(0, 20, 32, dtype=np.int32)
+        out = np.zeros(32, np.int32)
+        (_, out_), _ = run_kernel(src, 1, 32, n, out)
+        expected = np.array([sum(range(k)) for k in n], dtype=np.int32)
+        np.testing.assert_array_equal(out_, expected)
+
+    def test_early_return_divergent(self):
+        """return inside divergent control flow terminates lanes only."""
+        src = """
+        __global__ void er(const int* x, int* out, int n) {
+            int i = threadIdx.x;
+            if (i >= n) return;
+            if (x[i] < 0) { out[i] = -1; return; }
+            out[i] = x[i] * 2;
+        }
+        """
+        x = rng.integers(-10, 10, 48, dtype=np.int32)
+        out = np.full(48, 99, np.int32)
+        (_, out_), _ = run_kernel(src, 1, 64, x, out, 48)
+        np.testing.assert_array_equal(out_[:48],
+                                      np.where(x < 0, -1, x * 2))
+        np.testing.assert_array_equal(out_[48:], 99)
+
+    def test_divergent_break(self):
+        src = """
+        __global__ void db(const int* limit, int* out) {
+            int i = threadIdx.x;
+            int acc = 0;
+            for (int j = 0; j < 100; j++) {
+                if (j >= limit[i]) break;
+                acc++;
+            }
+            out[i] = acc;
+        }
+        """
+        limit = rng.integers(0, 50, 32, dtype=np.int32)
+        out = np.zeros(32, np.int32)
+        (_, out_), _ = run_kernel(src, 1, 32, limit, out)
+        np.testing.assert_array_equal(out_, limit)
+
+    def test_divergent_continue(self):
+        src = """
+        __global__ void dc(int* out) {
+            int i = threadIdx.x;
+            int acc = 0;
+            for (int j = 0; j < 10; j++) {
+                if (j % (i + 1) != 0) continue;
+                acc++;
+            }
+            out[i] = acc;
+        }
+        """
+        out = np.zeros(8, np.int32)
+        (out_,), _ = run_kernel(src, 1, 8, out)
+        expected = [len([j for j in range(10) if j % (i + 1) == 0])
+                    for i in range(8)]
+        np.testing.assert_array_equal(out_, expected)
+
+    def test_logical_operators_no_branch(self):
+        src = """
+        __global__ void lg(const int* x, int* out, int n) {
+            int i = threadIdx.x;
+            if (i < n && x[i] > 2 || i == 0) out[i] = 1;
+        }
+        """
+        x = np.array([0, 5, 1, 7], dtype=np.int32)
+        out = np.zeros(4, np.int32)
+        (_, out_), _ = run_kernel(src, 1, 4, x, out, 4)
+        np.testing.assert_array_equal(out_, [1, 1, 0, 1])
+
+
+class TestBarriers:
+    def test_barrier_in_divergent_code_rejected(self):
+        src = """
+        __global__ void bad(int* out) {
+            if (threadIdx.x < 16) __syncthreads();
+            out[threadIdx.x] = 1;
+        }
+        """
+        with pytest.raises(SimError, match="divergent"):
+            run_kernel(src, 1, 32, np.zeros(32, np.int32))
+
+    def test_barrier_sequences_warps(self):
+        """Warp 1 must see warp 0's pre-barrier shared writes."""
+        src = """
+        __global__ void xchg(int* out) {
+            __shared__ int buf[64];
+            int t = threadIdx.x;
+            buf[t] = t * 2;
+            __syncthreads();
+            out[t] = buf[63 - t];
+        }
+        """
+        out = np.zeros(64, np.int32)
+        (out_,), _ = run_kernel(src, 1, 64, out)
+        np.testing.assert_array_equal(out_, (63 - np.arange(64)) * 2)

@@ -1,0 +1,174 @@
+"""Double precision, warp-synchronous idioms, and misc executor paths."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU, TESLA_C1060, TESLA_C2070
+from repro.kernelc import nvcc
+from tests.helpers import KernelHarness, run_kernel
+
+rng = np.random.default_rng(33)
+
+
+class TestDoublePrecision:
+    def test_f64_arithmetic(self):
+        src = """
+        __global__ void k(const double* x, double* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = x[i] * 3.0 + 1.0 / (x[i] + 2.0);
+        }
+        """
+        x = rng.random(16)
+        out = np.zeros(16)
+        (_, out_), _ = run_kernel(src, 1, 16, x, out, 16)
+        np.testing.assert_allclose(out_, x * 3.0 + 1.0 / (x + 2.0),
+                                   rtol=1e-14)
+
+    def test_f64_precision_exceeds_f32(self):
+        src32 = """
+        __global__ void k(float* out) {
+            float x = 1.0f;
+            x += 1e-8f;
+            out[0] = x - 1.0f;
+        }
+        """
+        src64 = src32.replace("float", "double").replace("1.0f", "1.0") \
+            .replace("1e-8f", "1e-8")
+        o32 = np.zeros(1, np.float32)
+        o64 = np.zeros(1, np.float64)
+        (o32_,), _ = run_kernel(src32, 1, 1, o32)
+        (o64_,), _ = run_kernel(src64, 1, 1, o64)
+        assert o32_[0] == 0.0          # swallowed at fp32
+        assert o64_[0] > 0.0           # survives at fp64
+
+    def test_f64_costs_more_on_c1060(self):
+        """1/8-rate doubles on GT200 vs 1/2-rate on Fermi (§2.4)."""
+        src_f = """
+        __global__ void k(const float* x, float* o, int n) {
+            float acc = 0.0f;
+            for (int i = 0; i < 64; i++) acc = acc * 1.5f + x[0];
+            o[threadIdx.x] = acc;
+        }
+        """
+        src_d = src_f.replace("float acc = 0.0f",
+                              "double acc = 0.0") \
+            .replace("acc * 1.5f", "acc * 1.5") \
+            .replace("float* o", "double* o")
+        ratios = {}
+        for spec in (TESLA_C1060, TESLA_C2070):
+            hf = KernelHarness(src_f, spec=spec, arch=spec.arch)
+            hd = KernelHarness(src_d, spec=spec, arch=spec.arch)
+            _, rf = hf(1, 32, np.ones(4, np.float32),
+                       np.zeros(32, np.float32), 1)
+            _, rd = hd(1, 32, np.ones(4, np.float32),
+                       np.zeros(32, np.float64), 1)
+            ratios[spec.name] = rd.cycles / rf.cycles
+        assert ratios["Tesla C1060"] > ratios["Tesla C2070"]
+
+
+class TestWarpSynchronous:
+    def test_warp_reduction_without_barriers(self):
+        """Intra-warp shared-memory reduction needs no __syncthreads."""
+        src = """
+        __global__ void wr(const float* x, float* out) {
+            __shared__ float buf[32];
+            int lane = threadIdx.x;
+            buf[lane] = x[lane];
+            if (lane < 16) buf[lane] += buf[lane + 16];
+            if (lane < 8) buf[lane] += buf[lane + 8];
+            if (lane < 4) buf[lane] += buf[lane + 4];
+            if (lane < 2) buf[lane] += buf[lane + 2];
+            if (lane < 1) out[0] = buf[0] + buf[1];
+        }
+        """
+        x = rng.random(32).astype(np.float32)
+        out = np.zeros(1, np.float32)
+        (_, out_), _ = run_kernel(src, 1, 32, x, out)
+        np.testing.assert_allclose(out_[0], x.sum(), rtol=1e-5)
+
+    def test_interwarp_race_needs_barrier(self):
+        """Cross-warp reads without a barrier see stale/zero data for
+        at least one ordering — the executor runs warps serially, so
+        warp 0 reads before warp 1 writes."""
+        src = """
+        __global__ void race(float* out) {
+            __shared__ float buf[64];
+            buf[threadIdx.x] = 1.0f;
+            // missing __syncthreads()
+            out[threadIdx.x] = buf[63 - threadIdx.x];
+        }
+        """
+        out = np.zeros(64, np.float32)
+        (out_,), _ = run_kernel(src, 1, 64, out)
+        assert (out_[:32] == 0.0).all()  # warp 0 saw unwritten data
+        assert (out_[32:] == 1.0).all()
+
+
+class TestMiscSemantics:
+    def test_min_max_signedness(self):
+        src = """
+        __global__ void k(int* out) {
+            out[0] = min(-5, 3);
+            out[1] = max(-5, 3);
+            out[2] = (int)umin(4294967295u, 7u);
+            out[3] = (int)umax(1u, 7u);
+        }
+        """
+        out = np.zeros(4, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        np.testing.assert_array_equal(out_, [-5, 3, 7, 7])
+
+    def test_fdividef_approximation(self):
+        src = """
+        __global__ void k(const float* a, const float* b, float* o,
+                          int n) {
+            int i = threadIdx.x;
+            if (i < n) o[i] = __fdividef(a[i], b[i]);
+        }
+        """
+        a = rng.random(16).astype(np.float32) + 0.5
+        b = rng.random(16).astype(np.float32) + 0.5
+        o = np.zeros(16, np.float32)
+        (_, _, o_), _ = run_kernel(src, 1, 16, a, b, o, 16)
+        np.testing.assert_allclose(o_, a / b, rtol=1e-5)
+
+    def test_saturatef(self):
+        src = """
+        __global__ void k(const float* x, float* o, int n) {
+            int i = threadIdx.x;
+            if (i < n) o[i] = __saturatef(x[i]);
+        }
+        """
+        x = np.array([-0.5, 0.25, 1.5], dtype=np.float32)
+        o = np.zeros(3, np.float32)
+        (_, o_), _ = run_kernel(src, 1, 4, x, o, 3)
+        np.testing.assert_array_equal(o_, [0.0, 0.25, 1.0])
+
+    def test_grid_y_dimension(self):
+        src = """
+        __global__ void k(int* out, int w) {
+            out[blockIdx.y * w + blockIdx.x] =
+                blockIdx.y * 100 + blockIdx.x;
+        }
+        """
+        out = np.zeros(6, np.int32)
+        (out_,), _ = run_kernel(src, (3, 2), 1, out, 3)
+        np.testing.assert_array_equal(out_.reshape(2, 3),
+                                      [[0, 1, 2], [100, 101, 102]])
+
+    def test_stats_track_divergence_and_barriers(self):
+        src = """
+        __global__ void k(const int* x, int* o) {
+            __shared__ int buf[64];
+            buf[threadIdx.x] = x[threadIdx.x];
+            __syncthreads();
+            if (x[threadIdx.x] % 2 == 0) o[threadIdx.x] = buf[0];
+            else o[threadIdx.x] = buf[1];
+        }
+        """
+        x = rng.integers(0, 100, 64, dtype=np.int32)
+        o = np.zeros(64, np.int32)
+        (_, o_), result = run_kernel(src, 1, 64, x, o)
+        warp_stats = [w for s in result.stats for w in s.warps]
+        assert sum(w.barriers for w in warp_stats) == 2  # 2 warps
+        assert sum(w.divergent_branches for w in warp_stats) >= 1

@@ -1,0 +1,166 @@
+"""GPU-PF parameter types and action coverage (Tables 4.1/4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.gpupf import KernelCache, Pipeline
+from repro.gpupf.actions import PCIE_BANDWIDTH, PCIE_LATENCY
+from repro.gpupf.params import (ArrayTraits, IntParam, MemoryExtent,
+                                PairParam, Schedule, TripletParam,
+                                TypeParam)
+from repro.gpusim import GPU, TESLA_C2070
+
+
+@pytest.fixture
+def gpu():
+    return GPU(TESLA_C2070)
+
+
+class TestParameterTypes:
+    def test_triplet_coercion_and_elements(self):
+        t = TripletParam("t")
+        t.set(64)
+        assert t.value == (64, 1, 1)
+        t.set((4, 5))
+        assert t.value == (4, 5, 1)
+        assert t.count == 20
+        x = t.element(1)
+        assert x.value == 5
+        t.set((4, 9))
+        assert x.value == 9  # derived parameter tracks its source
+
+    def test_pair_param(self):
+        p = PairParam("p")
+        p.set([3, 4])
+        assert p.value == (3, 4)
+        assert p.element(0).value == 3
+
+    def test_type_param(self):
+        t = TypeParam("t")
+        t.set("float64")
+        assert t.itemsize == 8
+
+    def test_memory_extent_math(self):
+        e = MemoryExtent("e", (4, 8), 4)
+        assert e.count == 32
+        assert e.nbytes == 128
+        e.set(((2, 2, 2), 8))
+        assert e.nbytes == 64
+
+    def test_array_traits_validation(self):
+        with pytest.raises(ValueError):
+            ArrayTraits("t", filter="cubic")
+        with pytest.raises(ValueError):
+            ArrayTraits("t", address="mirror")
+        t = ArrayTraits("t", filter="linear", address="wrap")
+        assert t.value["filter"] == "linear"
+
+    def test_version_bumps_only_on_change(self):
+        p = IntParam("n", 5)
+        v = p.version
+        p.set(5)
+        assert p.version == v
+        p.set(6)
+        assert p.version == v + 1
+
+    def test_derived_param_cannot_be_set(self):
+        a = IntParam("a", 2)
+        d = IntParam("d").derive_from([a], lambda x: x * 10)
+        assert d.value == 20
+        with pytest.raises(ValueError):
+            d.set(5)
+
+
+class TestActions:
+    def test_device_to_device_copy(self, gpu):
+        pipe = Pipeline(gpu, cache=KernelCache())
+        ext = pipe.extent_param("e", (64,), 4)
+        h_in = pipe.host_memory("h_in", ext)
+        h_out = pipe.host_memory("h_out", ext)
+        d_a = pipe.global_memory("d_a", ext)
+        d_b = pipe.global_memory("d_b", ext)
+        pipe.copy("up", h_in, d_a)
+        pipe.copy("d2d", d_a, d_b)
+        pipe.copy("down", d_b, h_out)
+        pipe.refresh()
+        data = np.random.default_rng(0).random(64).astype(np.float32)
+        pipe.resources["h_in"].array[:] = data
+        pipe.run(1)
+        np.testing.assert_array_equal(pipe.resources["h_out"].array,
+                                      data)
+
+    def test_host_to_host_copy(self, gpu):
+        pipe = Pipeline(gpu, cache=KernelCache())
+        ext = pipe.extent_param("e", (16,), 4)
+        a = pipe.host_memory("a", ext)
+        b = pipe.host_memory("b", ext)
+        pipe.copy("c", a, b)
+        pipe.refresh()
+        pipe.resources["a"].array[:] = 7.0
+        pipe.run(1)
+        np.testing.assert_array_equal(pipe.resources["b"].array, 7.0)
+
+    def test_pcie_transfer_time_model(self, gpu):
+        pipe = Pipeline(gpu, cache=KernelCache())
+        ext = pipe.extent_param("e", (1024 * 1024,), 4)
+        h = pipe.host_memory("h", ext)
+        d = pipe.global_memory("d", ext)
+        copy = pipe.copy("up", h, d)
+        pipe.refresh()
+        seconds = copy.run(0)
+        expected = PCIE_LATENCY + ext.nbytes / PCIE_BANDWIDTH
+        assert seconds == pytest.approx(expected)
+
+    def test_user_function_sees_pipeline_and_iteration(self, gpu):
+        pipe = Pipeline(gpu, cache=KernelCache())
+        seen = []
+        pipe.user_function("probe",
+                           lambda p, i: seen.append((p.name, i)))
+        pipe.run(3)
+        assert seen == [("pipeline", 0), ("pipeline", 1),
+                        ("pipeline", 2)]
+
+    def test_file_io_roundtrip(self, gpu, tmp_path):
+        pipe = Pipeline(gpu, cache=KernelCache())
+        ext = pipe.extent_param("e", (8,), 4)
+        mem = pipe.host_memory("m", ext)
+        out_path = str(tmp_path / "dump.npy")
+        pipe.file_io("dump", mem, out_path, mode="write")
+        pipe.refresh()
+        pipe.resources["m"].array[:] = np.arange(8, dtype=np.float32)
+        pipe.run(1)
+        np.testing.assert_array_equal(np.load(out_path),
+                                      np.arange(8, dtype=np.float32))
+        # And read it back into a second pipeline.
+        pipe2 = Pipeline(GPU(TESLA_C2070), cache=KernelCache())
+        ext2 = pipe2.extent_param("e", (8,), 4)
+        mem2 = pipe2.host_memory("m", ext2)
+        pipe2.file_io("load", mem2, out_path, mode="read")
+        pipe2.refresh()
+        pipe2.run(1)
+        np.testing.assert_array_equal(pipe2.resources["m"].array,
+                                      np.arange(8, dtype=np.float32))
+
+    def test_file_io_validation(self, gpu):
+        pipe = Pipeline(gpu, cache=KernelCache())
+        ext = pipe.extent_param("e", (8,), 4)
+        d = pipe.global_memory("d", ext)
+        from repro.gpupf.actions import ActionError, FileIO
+        with pytest.raises(ActionError, match="host"):
+            FileIO("f", pipe, d, "/tmp/x.npy")
+        h = pipe.host_memory("h", ext)
+        with pytest.raises(ActionError, match="read/write"):
+            FileIO("f2", pipe, h, "/tmp/x.npy", mode="append")
+
+    def test_subset_reset_period(self, gpu):
+        pipe = Pipeline(gpu, cache=KernelCache())
+        frames = pipe.extent_param("frames", (3, 4), 4)
+        window = pipe.subset_param("w", 0, 4, stride=4)
+        d_all = pipe.global_memory("d", frames)
+        win = pipe.subset("win", d_all, window, reset_period=2)
+        pipe.refresh()
+        offsets = []
+        for i in range(5):
+            offsets.append(win.current_offset_elems())
+            win.advance(i)
+        assert offsets == [0, 0, 4, 0, 4]  # resets every 2 iterations

@@ -1,0 +1,163 @@
+"""IR data structures, PTX rendering, CFG and post-dominator tests."""
+
+import numpy as np
+import pytest
+
+from repro.kernelc import nvcc
+from repro.kernelc import typesys as T
+from repro.kernelc.cfg import CFG
+from repro.kernelc.ir import (Imm, Instr, IRKernel, Label, Reg,
+                              RegFactory, renumber)
+
+
+def compile_kernel(src, **kw):
+    mod = nvcc(src, **kw)
+    return next(iter(mod.kernels.values())).ir
+
+
+class TestIRPrinting:
+    def test_ptx_header_and_params(self):
+        ir = compile_kernel(
+            "__global__ void k(float* out, int n) { out[0] = 1.0f; }")
+        ptx = ir.to_ptx()
+        assert ".entry k (.param u64 out, .param s32 n)" in ptx
+        assert "st.global.f32" in ptx
+
+    def test_shared_declaration_rendered(self):
+        ir = compile_kernel("""
+        __global__ void k(float* o) {
+            __shared__ float buf[32];
+            buf[threadIdx.x] = 1.0f;
+            __syncthreads();
+            o[threadIdx.x] = buf[0];
+        }""")
+        assert ".shared .align 4 .b8 buf[128];" in ir.to_ptx()
+        assert "bar" in ir.to_ptx()
+
+    def test_predicated_guard_rendered(self):
+        ir = compile_kernel("""
+        __global__ void k(float* o, int n) {
+            if (threadIdx.x < n) o[threadIdx.x] = 1.0f;
+        }""")
+        assert "@!%p" in ir.to_ptx()
+
+    def test_instruction_mnemonics(self):
+        i = Instr("setp", T.S32, Reg("p1", T.BOOL),
+                  [Imm(1, T.S32), Imm(2, T.S32)], cmp="lt")
+        assert i.mnemonic() == "setp.lt.s32"
+        ld = Instr("ld", T.F32, Reg("f1", T.F32), [Reg("rd1", T.U64)],
+                   space="global")
+        assert ld.mnemonic() == "ld.global.f32"
+
+    def test_reg_factory_prefixes(self):
+        f = RegFactory()
+        assert f.new(T.S32).name.startswith("r")
+        assert f.new(T.F32).name.startswith("f")
+        assert f.new(T.BOOL).name.startswith("p")
+        assert f.new(T.U64).name.startswith("rd")
+        assert f.new(T.F64).name.startswith("fd")
+
+    def test_renumber_density(self):
+        ir = compile_kernel("""
+        __global__ void k(const float* x, float* o, int n) {
+            for (int i = 0; i < n; i++) o[i] = x[i] * 2.0f;
+        }""")
+        renumber(ir)
+        names = set()
+        for instr in ir.instructions():
+            if instr.dst:
+                names.add(instr.dst.name)
+        numbers = sorted(int("".join(c for c in n if c.isdigit()))
+                         for n in names)
+        assert numbers == list(range(1, len(numbers) + 1))
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        ir = compile_kernel(
+            "__global__ void k(float* o) { o[0] = 1.0f; }")
+        cfg = CFG(ir)
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].succs == []
+
+    def test_if_else_diamond(self):
+        ir = compile_kernel("""
+        __global__ void k(float* o, int n) {
+            if (n > 0) o[0] = 1.0f; else o[1] = 2.0f;
+            o[2] = 3.0f;
+        }""")
+        cfg = CFG(ir)
+        entry = cfg.blocks[0]
+        assert len(entry.succs) == 2
+
+    def test_loop_has_back_edge(self):
+        ir = compile_kernel("""
+        __global__ void k(float* o, int n) {
+            for (int i = 0; i < n; i++) o[i] = 1.0f;
+        }""")
+        cfg = CFG(ir)
+        has_back_edge = any(s <= b.bid for b in cfg.blocks
+                            for s in b.succs)
+        assert has_back_edge
+
+    def test_ipdom_of_if_is_join(self):
+        ir = compile_kernel("""
+        __global__ void k(float* o, int n) {
+            if (n > 0) { o[0] = 1.0f; } else { o[1] = 2.0f; }
+            o[2] = 3.0f;
+        }""")
+        cfg = CFG(ir)
+        ipdom = cfg.ipdom_instr()
+        assert len(ipdom) >= 1
+        for branch_pc, join_pc in ipdom.items():
+            assert join_pc > branch_pc
+            # The join must be the store to o[2] region or later.
+
+    def test_ipdom_handles_loops(self):
+        ir = compile_kernel("""
+        __global__ void k(float* o, int n) {
+            int i = 0;
+            while (i < n) { o[i] = 1.0f; i++; }
+            o[0] = 2.0f;
+        }""")
+        cfg = CFG(ir)
+        ipdom = cfg.ipdom_instr()
+        # Loop-condition branch reconverges after the loop.
+        for branch_pc, join_pc in ipdom.items():
+            assert join_pc <= len(cfg.instrs)
+
+
+class TestKernelMetadata:
+    def test_shared_bytes(self):
+        ir = compile_kernel("""
+        __global__ void k(float* o) {
+            __shared__ float a[16];
+            __shared__ double b[4];
+            a[0] = 1.0f; b[0] = 2.0;
+            o[0] = a[0] + (float)b[0];
+        }""")
+        assert ir.shared_bytes == 16 * 4 + 4 * 8
+
+    def test_local_bytes_for_dynamic_arrays(self):
+        ir = compile_kernel("""
+        __global__ void k(float* o, int j) {
+            float buf[8];
+            for (int i = 0; i < 8; i++) buf[i] = (float)i;
+            o[0] = buf[j];
+        }""")
+        assert ir.local_bytes == 32
+
+    def test_param_index(self):
+        ir = compile_kernel(
+            "__global__ void k(float* a, int b, float c) { a[0] = c; }")
+        assert ir.param_index("b") == 1
+        with pytest.raises(KeyError):
+            ir.param_index("zzz")
+
+    def test_module_constant_accounting(self):
+        mod = nvcc("""
+        __constant__ float w[10];
+        __constant__ int idx[4];
+        __global__ void k(float* o) { o[0] = w[idx[0]]; }
+        """)
+        assert mod.const_bytes == 40 + 16

@@ -1,0 +1,117 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.kernelc.lexer import (LexError, Token, TokenStream, decode_float,
+                                 decode_int, tokenize)
+
+
+class TestTokenize:
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("int foo = bar;")
+        kinds = [(t.kind, t.text) for t in toks]
+        assert kinds == [("kw", "int"), ("id", "foo"), ("punct", "="),
+                         ("id", "bar"), ("punct", ";")]
+
+    def test_cuda_keywords(self):
+        toks = tokenize("__global__ void k() {}")
+        assert toks[0].kind == "kw"
+        assert toks[0].text == "__global__"
+
+    def test_integer_literals(self):
+        toks = tokenize("0x10 42 7u 1ull")
+        assert [t.kind for t in toks] == ["int"] * 4
+
+    def test_float_literals(self):
+        toks = tokenize("1.0f 2.5 .5f 1e3 3.0e-2f")
+        assert [t.kind for t in toks] == ["float"] * 5
+
+    def test_integer_vs_float_disambiguation(self):
+        toks = tokenize("a[1].x")  # '1].x' must not lex '1.' as float
+        texts = [t.text for t in toks]
+        assert "1" in texts and "." in texts
+
+    def test_maximal_munch_operators(self):
+        toks = tokenize("a<<=b>>c<=d")
+        ops = [t.text for t in toks if t.kind == "punct"]
+        assert ops == ["<<=", ">>", "<="]
+
+    def test_line_comment_stripped(self):
+        toks = tokenize("a // comment\nb")
+        assert [t.text for t in toks] == ["a", "b"]
+
+    def test_block_comment_stripped(self):
+        toks = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in toks] == ["a", "b"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks] == [1, 2, 4]
+
+    def test_line_numbers_across_block_comment(self):
+        toks = tokenize("/* one\ntwo */ x")
+        assert toks[0].text == "x"
+
+    def test_line_continuation_spliced(self):
+        toks = tokenize("foo\\\nbar")
+        assert toks[0].text == "foobar"
+
+    def test_keep_newlines(self):
+        toks = tokenize("a\nb", keep_newlines=True)
+        assert [t.kind for t in toks] == ["id", "newline", "id"]
+
+    def test_bad_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("int a = @;")
+
+    def test_string_literal(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].kind == "string"
+
+    def test_char_literal(self):
+        toks = tokenize("'x'")
+        assert toks[0].kind == "char"
+
+
+class TestDecode:
+    def test_decode_plain_int(self):
+        assert decode_int("42") == (42, False, False)
+
+    def test_decode_hex(self):
+        assert decode_int("0xFF")[0] == 255
+
+    def test_decode_unsigned(self):
+        assert decode_int("7u") == (7, True, False)
+
+    def test_decode_ull(self):
+        assert decode_int("1ull") == (1, True, True)
+
+    def test_decode_float_suffix(self):
+        value, is_double = decode_float("1.5f")
+        assert value == 1.5 and not is_double
+
+    def test_decode_double_default(self):
+        assert decode_float("1.5") == (1.5, True)
+
+    def test_decode_exponent(self):
+        assert decode_float("1e3")[0] == 1000.0
+
+
+class TestTokenStream:
+    def test_peek_and_next(self):
+        ts = TokenStream(tokenize("a b"))
+        assert ts.peek().text == "a"
+        assert ts.next().text == "a"
+        assert ts.next().text == "b"
+        assert ts.peek().kind == "eof"
+
+    def test_accept(self):
+        ts = TokenStream(tokenize("a b"))
+        assert ts.accept("id", "a")
+        assert not ts.accept("id", "zzz")
+        assert ts.accept("id")
+
+    def test_expect_failure(self):
+        ts = TokenStream(tokenize("a"))
+        with pytest.raises(LexError):
+            ts.expect("punct", ";")

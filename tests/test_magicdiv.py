@@ -1,0 +1,119 @@
+"""Magic-number division tests (Hacker's Delight §10 sequences)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernelc import nvcc
+from repro.kernelc.passes.magicdiv import magic_signed, magic_unsigned
+from tests.helpers import run_kernel
+
+
+class TestMagicConstants:
+    @settings(max_examples=200)
+    @given(d=st.integers(2, 2**31 - 1), x=st.integers(0, 2**32 - 1))
+    def test_unsigned_magic_exact(self, d, x):
+        m, s, add = magic_unsigned(d)
+        hi = (x * m) >> 32
+        if not add:
+            q = hi >> s
+        else:
+            q = (((x - hi) >> 1) + hi) >> (s - 1)
+        assert q == x // d
+
+    @settings(max_examples=200)
+    @given(d=st.integers(2, 2**30), x=st.integers(-(2**31), 2**31 - 1))
+    def test_signed_magic_exact(self, d, x):
+        m, s = magic_signed(d)
+        sm = m - (1 << 32) if m >= (1 << 31) else m
+        hi = (x * sm) >> 32
+        if sm < 0:
+            hi += x
+        q = (hi >> s) + ((x >> 31) & 1 if x < 0 else 0)
+        expected = abs(x) // d
+        if x < 0:
+            expected = -expected
+        assert q == expected
+
+    def test_known_divisor_seven(self):
+        # The classic example: unsigned divide by 7.
+        m, s, add = magic_unsigned(7)
+        for x in (0, 6, 7, 13, 700, 2**32 - 1):
+            hi = (x * m) >> 32
+            q = (((x - hi) >> 1) + hi) >> (s - 1) if add else hi >> s
+            assert q == x // 7
+
+
+class TestEndToEnd:
+    def test_div_nine_emits_mulhi(self):
+        src = """
+        __global__ void k(const int* x, int* q) {
+            q[threadIdx.x] = x[threadIdx.x] / 9;
+        }
+        """
+        ptx = nvcc(src).kernel("k").to_ptx()
+        assert "mulhi" in ptx and "div" not in ptx
+
+    def test_runtime_divisor_keeps_divide(self):
+        src = """
+        __global__ void k(const int* x, int* q, int d) {
+            q[threadIdx.x] = x[threadIdx.x] / d;
+        }
+        """
+        ptx = nvcc(src).kernel("k").to_ptx()
+        assert "div" in ptx and "mulhi" not in ptx
+
+    @settings(max_examples=15, deadline=None)
+    @given(d=st.integers(3, 200).filter(lambda v: v & (v - 1)),
+           seed=st.integers(0, 100))
+    def test_signed_divrem_matches_c(self, d, seed):
+        src = """
+        __global__ void k(const int* x, int* q, int* r) {
+            int i = threadIdx.x;
+            q[i] = x[i] / %d;
+            r[i] = x[i] %% %d;
+        }
+        """ % (d, d)
+        rng = np.random.default_rng(seed)
+        x = rng.integers(-(2**31), 2**31, 32, dtype=np.int32)
+        q = np.zeros(32, np.int32)
+        r = np.zeros(32, np.int32)
+        (_, q_, r_), _ = run_kernel(src, 1, 32, x, q, r)
+        x64 = x.astype(np.int64)
+        expected_q = np.where(x64 >= 0, x64 // d, -((-x64) // d))
+        np.testing.assert_array_equal(q_, expected_q.astype(np.int32))
+        np.testing.assert_array_equal(
+            r_, (x64 - expected_q * d).astype(np.int32))
+
+    @settings(max_examples=15, deadline=None)
+    @given(d=st.integers(3, 200).filter(lambda v: v & (v - 1)),
+           seed=st.integers(0, 100))
+    def test_unsigned_divrem_matches_c(self, d, seed):
+        src = """
+        __global__ void k(const unsigned int* x, unsigned int* q,
+                          unsigned int* r) {
+            int i = threadIdx.x;
+            q[i] = x[i] / %du;
+            r[i] = x[i] %% %du;
+        }
+        """ % (d, d)
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 2**32, 32, dtype=np.uint32)
+        q = np.zeros(32, np.uint32)
+        r = np.zeros(32, np.uint32)
+        (_, q_, r_), _ = run_kernel(src, 1, 32, x, q, r)
+        np.testing.assert_array_equal(q_, x // d)
+        np.testing.assert_array_equal(r_, x % d)
+
+    def test_specialized_piv_decode_uses_mulhi(self):
+        """The PIV offset decode is the in-app use of magic division."""
+        from repro.apps.piv import PIVConfig, PIVProblem, PIVProcessor
+        from repro.gpupf import KernelCache
+        problem = PIVProblem("t", 48, 64, mask=8, offs=9)
+        proc = PIVProcessor(problem,
+                            PIVConfig(rb=3, threads=32, specialize=True),
+                            cache=KernelCache())
+        ptx = proc.kernel.to_ptx()
+        assert "mulhi" in ptx
+        assert "div" not in ptx

@@ -1,0 +1,91 @@
+"""Occupancy calculator tests (Table 2.1/2.2 behaviours)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import TESLA_C1060, TESLA_C2070, OccupancyError, occupancy
+
+
+class TestLimits:
+    def test_full_occupancy_small_kernel(self):
+        occ = occupancy(TESLA_C1060, 256, 10, 0)
+        assert occ.warps_per_sm == 32  # C1060 max
+        assert occ.fraction(TESLA_C1060) == 1.0
+
+    def test_register_limited(self):
+        # 256 threads * 60 regs = 15360 regs/block -> 1 block on C1060.
+        occ = occupancy(TESLA_C1060, 256, 60, 0)
+        assert occ.blocks_per_sm == 1
+        assert occ.limited_by == "registers"
+
+    def test_smem_limited(self):
+        occ = occupancy(TESLA_C1060, 64, 10, 9000)
+        assert occ.blocks_per_sm == 1
+        assert occ.limited_by == "shared memory"
+
+    def test_c2070_has_more_headroom(self):
+        """The same config achieves more blocks/SM on Fermi."""
+        cfg = dict(threads_per_block=128, regs_per_thread=32,
+                   smem_per_block=4096)
+        occ1 = occupancy(TESLA_C1060, **cfg)
+        occ2 = occupancy(TESLA_C2070, **cfg)
+        assert occ2.blocks_per_sm > occ1.blocks_per_sm
+
+    def test_max_blocks_cap(self):
+        occ = occupancy(TESLA_C1060, 32, 4, 0)
+        assert occ.blocks_per_sm == 8  # hardware cap
+
+    def test_too_many_threads_raises(self):
+        with pytest.raises(OccupancyError):
+            occupancy(TESLA_C1060, 1024, 10, 0)  # C1060 max is 512
+        occupancy(TESLA_C2070, 1024, 10, 0)  # fine on Fermi
+
+    def test_too_many_registers_raises(self):
+        with pytest.raises(OccupancyError):
+            occupancy(TESLA_C2070, 64, 100, 0)  # Fermi cap is 63/thread
+
+    def test_too_much_shared_memory_raises(self):
+        with pytest.raises(OccupancyError):
+            occupancy(TESLA_C1060, 64, 10, 17000)
+
+    def test_smem_fits_on_fermi_only(self):
+        with pytest.raises(OccupancyError):
+            occupancy(TESLA_C1060, 64, 10, 20000)
+        occ = occupancy(TESLA_C2070, 64, 10, 20000)
+        assert occ.blocks_per_sm >= 1
+
+    def test_zero_threads_raises(self):
+        with pytest.raises(OccupancyError):
+            occupancy(TESLA_C1060, 0, 4, 0)
+
+
+class TestProperties:
+    @settings(max_examples=200)
+    @given(threads=st.integers(1, 512), regs=st.integers(2, 60),
+           smem=st.integers(0, 16000))
+    def test_invariants_c1060(self, threads, regs, smem):
+        try:
+            occ = occupancy(TESLA_C1060, threads, regs, smem)
+        except OccupancyError:
+            return
+        dev = TESLA_C1060
+        assert 1 <= occ.blocks_per_sm <= dev.max_blocks_per_sm
+        assert occ.warps_per_sm <= dev.max_warps_per_sm
+        # Register file is never oversubscribed.
+        assert (occ.blocks_per_sm * occ.warps_per_block * 32 * regs
+                <= dev.regs_per_sm)
+        # Shared memory is never oversubscribed.
+        assert occ.blocks_per_sm * smem <= dev.smem_per_sm
+
+    @settings(max_examples=100)
+    @given(threads=st.integers(1, 512), regs=st.integers(2, 40),
+           smem=st.integers(0, 8000))
+    def test_monotone_in_registers(self, threads, regs, smem):
+        """More registers per thread never increases blocks/SM."""
+        try:
+            lo = occupancy(TESLA_C2070, threads, regs, smem)
+            hi = occupancy(TESLA_C2070, threads, min(regs + 8, 63), smem)
+        except OccupancyError:
+            return
+        assert hi.blocks_per_sm <= lo.blocks_per_sm

@@ -1,0 +1,238 @@
+"""Unit tests for the parser (AST construction)."""
+
+import pytest
+
+from repro.kernelc import ast_nodes as A
+from repro.kernelc import typesys as T
+from repro.kernelc.lexer import tokenize
+from repro.kernelc.parser import ParseError, Parser, parse
+
+
+def parse_src(src):
+    return parse(tokenize(src))
+
+
+def first_kernel(src):
+    unit = parse_src(src)
+    return unit.functions[0]
+
+
+class TestTopLevel:
+    def test_kernel_signature(self):
+        fn = first_kernel("__global__ void k(int* in, float s) {}")
+        assert fn.is_kernel
+        assert fn.name == "k"
+        assert [p.name for p in fn.params] == ["in", "s"]
+        assert T.is_pointer(fn.params[0].ctype)
+        assert fn.params[1].ctype is T.F32
+
+    def test_device_function(self):
+        unit = parse_src("__device__ float f(float x) { return x; }")
+        assert not unit.functions[0].is_kernel
+        assert unit.functions[0].return_type is T.F32
+
+    def test_restrict_and_const_param(self):
+        fn = first_kernel(
+            "__global__ void k(const float* __restrict__ p) {}")
+        assert fn.params[0].restrict
+        assert fn.params[0].const
+
+    def test_constant_global(self):
+        unit = parse_src("__constant__ float coeffs[32];")
+        g = unit.globals[0]
+        assert g.name == "coeffs"
+        assert g.array_size == 32
+        assert g.constant
+
+    def test_constant_global_size_expression(self):
+        unit = parse_src("__constant__ int lut[4 * 8];")
+        assert unit.globals[0].array_size == 32
+
+    def test_launch_bounds(self):
+        fn = first_kernel(
+            "__global__ void __launch_bounds__(256, 2) k() {}")
+        assert fn.launch_bounds == (256, 2)
+
+    def test_typedef(self):
+        unit = parse_src("typedef unsigned int uint32; "
+                         "__global__ void k(uint32 x) {}")
+        assert unit.functions[0].params[0].ctype is T.U32
+
+    def test_multiword_types(self):
+        fn = first_kernel(
+            "__global__ void k(unsigned long long a, long long b) {}")
+        assert fn.params[0].ctype is T.U64
+        assert fn.params[1].ctype is T.S64
+
+    def test_forceinline(self):
+        unit = parse_src(
+            "__device__ __forceinline__ int f(int x) { return x; }")
+        assert unit.functions[0].force_inline
+
+
+class TestStatements:
+    def body(self, stmts):
+        return first_kernel("__global__ void k(int* p, int n) {%s}"
+                            % stmts).body
+
+    def test_declaration(self):
+        body = self.body("int x = 1; float y;")
+        assert isinstance(body[0], A.DeclStmt)
+        assert body[0].decls[0][0] == "x"
+
+    def test_multi_declarator(self):
+        body = self.body("int a = 1, b = 2;")
+        assert len(body[0].decls) == 2
+
+    def test_shared_array(self):
+        body = self.body("__shared__ float tile[64];")
+        assert body[0].shared
+        name, ctype, size, init = body[0].decls[0]
+        assert name == "tile" and ctype is T.F32 and size is not None
+
+    def test_local_array(self):
+        body = self.body("float acc[8];")
+        assert not body[0].shared
+
+    def test_if_else(self):
+        body = self.body("if (n > 0) { p[0] = 1; } else p[0] = 2;")
+        node = body[0]
+        assert isinstance(node, A.If)
+        assert len(node.then) == 1 and len(node.other) == 1
+
+    def test_for_loop(self):
+        body = self.body("for (int i = 0; i < n; i++) p[i] = i;")
+        node = body[0]
+        assert isinstance(node, A.For)
+        assert isinstance(node.init, A.DeclStmt)
+        assert isinstance(node.cond, A.Binary)
+        assert isinstance(node.step, A.IncDec)
+
+    def test_for_empty_clauses(self):
+        body = self.body("for (;;) break;")
+        node = body[0]
+        assert node.init is None and node.cond is None and node.step is None
+
+    def test_while(self):
+        assert isinstance(self.body("while (n) n = n - 1;")[0], A.While)
+
+    def test_do_while(self):
+        assert isinstance(self.body("do n--; while (n);")[0], A.DoWhile)
+
+    def test_break_continue(self):
+        body = self.body("for(;;) { if (n) break; continue; }")
+        loop = body[0]
+        assert isinstance(loop.body[0].then[0], A.Break)
+        assert isinstance(loop.body[1], A.Continue)
+
+    def test_syncthreads(self):
+        assert isinstance(self.body("__syncthreads();")[0], A.SyncThreads)
+
+    def test_return(self):
+        assert isinstance(self.body("return;")[0], A.Return)
+
+    def test_nested_blocks(self):
+        body = self.body("{ int x = 1; { int y = 2; } }")
+        assert isinstance(body[0], A.Block)
+
+
+class TestExpressions:
+    def expr(self, text):
+        body = first_kernel(
+            "__global__ void k(int* p, int a, int b, float f) "
+            "{ p[0] = %s; }" % text).body
+        return body[0].expr.value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * 2")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_precedence_shift(self):
+        e = self.expr("a << 2 + 1")  # + binds tighter than <<
+        assert e.op == "<<"
+
+    def test_parentheses(self):
+        e = self.expr("(a + b) * 2")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_ternary(self):
+        assert isinstance(self.expr("a ? b : 0"), A.Ternary)
+
+    def test_unary_ops(self):
+        assert self.expr("-a").op == "-"
+        assert self.expr("!a").op == "!"
+        assert self.expr("~a").op == "~"
+
+    def test_cast(self):
+        e = self.expr("(float)a")
+        assert isinstance(e, A.Cast) and e.ctype is T.F32
+
+    def test_pointer_cast(self):
+        e = self.expr("*((int*)0x100)")
+        assert isinstance(e, A.Unary) and e.op == "*"
+        assert T.is_pointer(e.operand.ctype)
+
+    def test_function_style_cast(self):
+        e = self.expr("float(a)")
+        assert isinstance(e, A.Cast)
+
+    def test_builtin_vars(self):
+        e = self.expr("threadIdx.x + blockIdx.y * blockDim.z")
+        assert isinstance(e.left, A.BuiltinVar)
+        assert e.left.name == "tid.x"
+
+    def test_bad_builtin_member(self):
+        with pytest.raises(ParseError):
+            self.expr("threadIdx.w")
+
+    def test_call(self):
+        e = self.expr("min(a, b)")
+        assert isinstance(e, A.Call) and len(e.args) == 2
+
+    def test_index_chain(self):
+        e = self.expr("p[a + 1]")
+        assert isinstance(e, A.Index)
+
+    def test_compound_assignment(self):
+        body = first_kernel(
+            "__global__ void k(int a) { a += 2; }").body
+        assert body[0].expr.op == "+"
+
+    def test_comma_expression(self):
+        body = first_kernel(
+            "__global__ void k(int a, int b) { a = 1, b = 2; }").body
+        assert isinstance(body[0].expr, A.Comma)
+
+    def test_template_call_vs_less_than(self):
+        # f<8>(x) is a template call; a < b stays a comparison.
+        unit = parse_src(
+            "__device__ int f(int x) { return x; }"
+            "__global__ void k(int a, int b, int* p) "
+            "{ p[0] = f<8>(a); p[1] = a < b; }")
+        stmts = unit.functions[1].body
+        call = stmts[0].expr.value
+        assert isinstance(call, A.Call) and call.template_args
+        cmp = stmts[1].expr.value
+        assert isinstance(cmp, A.Binary) and cmp.op == "<"
+
+    def test_sizeof_type(self):
+        e = self.expr("sizeof(float)")
+        assert isinstance(e, A.IntLit) and e.value == 4
+
+    def test_hex_literal(self):
+        e = self.expr("0xFF")
+        assert e.value == 255
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises((ParseError, Exception)):
+            parse_src("__global__ void k() { int x = 1 }")
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse_src("__global__ void k(floatx4 v) {}")
+
+    def test_unterminated_block(self):
+        with pytest.raises(Exception):
+            parse_src("__global__ void k() { if (1) {")

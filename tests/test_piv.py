@@ -1,0 +1,123 @@
+"""PIV application tests (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.piv import (PIVConfig, PIVProblem, PIVProcessor,
+                            displacement_field, run_piv, ssd_scores)
+from repro.data.piv import particle_image_pair
+from repro.gpupf import KernelCache
+from repro.gpusim import TESLA_C1060, TESLA_C2070
+
+PROBLEM = PIVProblem("T", 48, 64, mask=8, offs=5, overlap=0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    a, b = particle_image_pair(48, 64, displacement=(1, -2), seed=3)
+    ref = ssd_scores(a, b, PROBLEM)
+    return a, b, ref
+
+
+class TestProblemGeometry:
+    def test_window_origins_have_margin(self):
+        xs, ys = PROBLEM.window_origins()
+        margin = PROBLEM.offs // 2
+        assert (xs - margin > 0).all() and (ys - margin > 0).all()
+        assert (xs + PROBLEM.mask + margin < PROBLEM.img_w).all()
+
+    def test_overlap_increases_window_count(self):
+        base = PIVProblem("a", 120, 160, mask=16, offs=9, overlap=0)
+        dense = PIVProblem("b", 120, 160, mask=16, offs=9, overlap=8)
+        assert dense.n_windows > base.n_windows
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            PIVConfig(variant="nope")
+        with pytest.raises(ValueError):
+            PIVConfig(rb=0)
+        with pytest.raises(ValueError):
+            PIVConfig(threads=48)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", ["tree", "warpspec"])
+    @pytest.mark.parametrize("specialize", [True, False])
+    def test_scores_match_reference(self, workload, variant, specialize):
+        a, b, ref = workload
+        r = run_piv(PROBLEM, a, b,
+                    PIVConfig(variant=variant, rb=4, threads=64,
+                              specialize=specialize),
+                    cache=KernelCache())
+        np.testing.assert_allclose(r.scores, ref, rtol=1e-4)
+
+    @pytest.mark.parametrize("rb", [1, 3, 5, 8])
+    def test_rb_does_not_change_scores(self, workload, rb):
+        """RB is an implementation parameter: results are invariant,
+        including when RB does not divide the offset count."""
+        a, b, ref = workload
+        r = run_piv(PROBLEM, a, b,
+                    PIVConfig(variant="tree", rb=rb, threads=32),
+                    cache=KernelCache())
+        np.testing.assert_allclose(r.scores, ref, rtol=1e-4)
+
+    def test_recovers_uniform_flow(self, workload):
+        a, b, ref = workload
+        r = run_piv(PROBLEM, a, b, PIVConfig(rb=5, threads=64),
+                    cache=KernelCache())
+        truth = np.array([1, -2])
+        frac = (r.vectors == truth).all(axis=1).mean()
+        assert frac > 0.8
+
+    def test_both_devices_agree(self, workload):
+        a, b, ref = workload
+        cfg = PIVConfig(rb=4, threads=64)
+        r1 = run_piv(PROBLEM, a, b, cfg, device=TESLA_C1060,
+                     cache=KernelCache())
+        r2 = run_piv(PROBLEM, a, b, cfg, device=TESLA_C2070,
+                     cache=KernelCache())
+        np.testing.assert_allclose(r1.scores, r2.scores, rtol=1e-5)
+
+
+class TestSpecializationShape:
+    def test_sk_faster_than_re(self, workload):
+        a, b, _ = workload
+        cache = KernelCache()
+        sk = run_piv(PROBLEM, a, b,
+                     PIVConfig(rb=4, threads=64, specialize=True),
+                     cache=cache)
+        re = run_piv(PROBLEM, a, b,
+                     PIVConfig(rb=4, threads=64, specialize=False),
+                     cache=cache)
+        assert sk.kernel_seconds < re.kernel_seconds
+
+    def test_sk_scalarizes_accumulators(self):
+        proc_sk = PIVProcessor(PROBLEM, PIVConfig(rb=4, threads=64,
+                                                  specialize=True),
+                               cache=KernelCache())
+        proc_re = PIVProcessor(PROBLEM, PIVConfig(rb=4, threads=64,
+                                                  specialize=False),
+                               cache=KernelCache())
+        assert not proc_sk.kernel.ir.local_arrays
+        assert proc_re.kernel.ir.local_arrays
+
+    def test_register_count_scales_with_rb(self):
+        regs = [PIVProcessor(PROBLEM,
+                             PIVConfig(rb=rb, threads=64),
+                             cache=KernelCache()).kernel.reg_count
+                for rb in (1, 4, 8)]
+        assert regs[0] < regs[1] < regs[2]
+
+    def test_sampled_timing_close_to_full(self, workload):
+        """functional=False sampling must estimate the same time."""
+        a, b, _ = workload
+        full = run_piv(PROBLEM, a, b,
+                       PIVConfig(rb=4, threads=64, functional=True),
+                       cache=KernelCache())
+        samp = run_piv(PROBLEM, a, b,
+                       PIVConfig(rb=4, threads=64, functional=False,
+                                 sample_blocks=4),
+                       cache=KernelCache())
+        assert samp.scores is None
+        ratio = samp.kernel_seconds / full.kernel_seconds
+        assert 0.7 < ratio < 1.4

@@ -1,0 +1,183 @@
+"""Unit tests for the preprocessor — the -D specialization mechanism."""
+
+import pytest
+
+from repro.kernelc.preprocessor import (Preprocessor, PreprocessorError,
+                                        preprocess)
+
+
+def pp(source, defines=None, headers=None):
+    return " ".join(t.text for t in preprocess(source, defines, headers))
+
+
+class TestDefines:
+    def test_command_line_define(self):
+        assert pp("int x = N;", {"N": 32}) == "int x = 32 ;"
+
+    def test_float_define(self):
+        assert pp("float x = F;", {"F": 2.5}) == "float x = 2.5 ;"
+
+    def test_bool_define(self):
+        assert pp("x = FLAG;", {"FLAG": True}) == "x = 1 ;"
+
+    def test_expression_define(self):
+        assert pp("x = S;", {"S": "a * b"}) == "x = a * b ;"
+
+    def test_object_macro(self):
+        assert pp("#define N 8\nint x = N;") == "int x = 8 ;"
+
+    def test_macro_redefinition_uses_latest(self):
+        assert pp("#define N 1\n#define N 2\nx = N;") == "x = 2 ;"
+
+    def test_undef(self):
+        assert pp("#define N 1\n#undef N\nx = N;") == "x = N ;"
+
+    def test_function_macro(self):
+        src = "#define SQ(x) ((x)*(x))\ny = SQ(a+1);"
+        assert pp(src) == "y = ( ( a + 1 ) * ( a + 1 ) ) ;"
+
+    def test_function_macro_two_args(self):
+        src = "#define ADD(a,b) (a+b)\ny = ADD(1, 2);"
+        assert pp(src) == "y = ( 1 + 2 ) ;"
+
+    def test_function_macro_not_invoked(self):
+        src = "#define F(x) x\ny = F;"
+        assert pp(src) == "y = F ;"
+
+    def test_nested_macro_expansion(self):
+        src = "#define A B\n#define B 5\nx = A;"
+        assert pp(src) == "x = 5 ;"
+
+    def test_self_referential_macro_terminates(self):
+        src = "#define A A + 1\nx = A;"
+        assert pp(src) == "x = A + 1 ;"
+
+    def test_macro_args_with_nested_parens(self):
+        src = "#define F(x) [x]\ny = F(g(1, 2));"
+        assert pp(src) == "y = [ g ( 1 , 2 ) ] ;"
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp("#define F(a,b) a\nF(1);")
+
+    def test_stringize(self):
+        src = '#define S(x) #x\nname = S(hello);'
+        assert '"hello"' in pp(src)
+
+    def test_token_paste(self):
+        src = "#define GLUE(a,b) a##b\nint GLUE(foo, bar);"
+        assert pp(src) == "int foobar ;"
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        assert pp("#ifdef X\na\n#endif", {"X": 1}) == "a"
+
+    def test_ifdef_not_taken(self):
+        assert pp("#ifdef X\na\n#endif") == ""
+
+    def test_ifndef(self):
+        assert pp("#ifndef X\na\n#endif") == "a"
+
+    def test_else(self):
+        assert pp("#ifdef X\na\n#else\nb\n#endif") == "b"
+
+    def test_elif(self):
+        src = "#if A == 1\none\n#elif A == 2\ntwo\n#else\nother\n#endif"
+        assert pp(src, {"A": 2}) == "two"
+        assert pp(src, {"A": 1}) == "one"
+        assert pp(src, {"A": 9}) == "other"
+
+    def test_nested_conditionals(self):
+        src = "#ifdef A\n#ifdef B\nab\n#else\na\n#endif\n#endif"
+        assert pp(src, {"A": 1, "B": 1}) == "ab"
+        assert pp(src, {"A": 1}) == "a"
+        assert pp(src) == ""
+
+    def test_if_defined(self):
+        assert pp("#if defined(X)\na\n#endif", {"X": 1}) == "a"
+        assert pp("#if defined X\na\n#endif", {"X": 1}) == "a"
+
+    def test_if_arithmetic(self):
+        assert pp("#if 2 + 3 * 4 == 14\nyes\n#endif") == "yes"
+
+    def test_if_comparison_chain(self):
+        assert pp("#if N >= 200\nfermi\n#else\ntesla\n#endif",
+                  {"N": 200}) == "fermi"
+
+    def test_if_logical(self):
+        assert pp("#if defined(A) && B > 1\nx\n#endif",
+                  {"A": 1, "B": 2}) == "x"
+
+    def test_if_unknown_identifier_is_zero(self):
+        assert pp("#if UNKNOWN\na\n#else\nb\n#endif") == "b"
+
+    def test_if_ternary(self):
+        assert pp("#if 1 ? 2 : 0\nyes\n#endif") == "yes"
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp("#ifdef X\na")
+
+    def test_stray_endif_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp("#endif")
+
+    def test_error_directive(self):
+        with pytest.raises(PreprocessorError, match="bad config"):
+            pp("#error bad config")
+
+    def test_error_in_untaken_branch_ignored(self):
+        assert pp("#ifdef X\n#error no\n#endif\nok") == "ok"
+
+    def test_cuda_arch_conditional(self):
+        """The OpenCV-style compute-capability switch (§2.6)."""
+        src = ("#if __CUDA_ARCH__ >= 200\nint t = 8;\n"
+               "#else\nint t = 4;\n#endif")
+        assert pp(src, {"__CUDA_ARCH__": 200}) == "int t = 8 ;"
+        assert pp(src, {"__CUDA_ARCH__": 130}) == "int t = 4 ;"
+
+
+class TestInclude:
+    def test_include_virtual_header(self):
+        headers = {"util.h": "#define N 4\n"}
+        assert pp('#include "util.h"\nx = N;', headers=headers) == "x = 4 ;"
+
+    def test_include_angle_brackets(self):
+        headers = {"cuda.h": "int fromheader;"}
+        assert pp("#include <cuda.h>", headers=headers) == "int fromheader ;"
+
+    def test_missing_include_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp('#include "nope.h"')
+
+    def test_include_guard_pattern(self):
+        headers = {"g.h": "#ifndef G_H\n#define G_H\nint once;\n#endif\n"}
+        out = pp('#include "g.h"\n#include "g.h"', headers=headers)
+        assert out == "int once ;"
+
+
+class TestCtRtToggles:
+    """The Appendix-B flexible specialization pattern."""
+
+    SRC = ("#ifdef CT_N\n#define N_VAL (N)\n#else\n#define N_VAL (n)\n"
+           "#endif\nx = N_VAL;")
+
+    def test_runtime_mode(self):
+        assert pp(self.SRC) == "x = ( n ) ;"
+
+    def test_specialized_mode(self):
+        assert pp(self.SRC, {"CT_N": 1, "N": 64}) == "x = ( 64 ) ;"
+
+
+class TestPragmaUnroll:
+    def test_pragma_unroll_marker(self):
+        out = pp("#pragma unroll\nfor(;;);")
+        assert out.startswith("__pragma_unroll ( )")
+
+    def test_pragma_unroll_count(self):
+        out = pp("#pragma unroll 4\nfor(;;);")
+        assert "__pragma_unroll ( 4 )" in out
+
+    def test_other_pragma_dropped(self):
+        assert pp("#pragma once\nx;") == "x ;"

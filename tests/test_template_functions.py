@@ -1,0 +1,108 @@
+"""Integer template parameters — the Appendix-B C++-template route."""
+
+import numpy as np
+import pytest
+
+from repro.kernelc import CompileError, nvcc
+from tests.helpers import run_kernel
+
+
+class TestTemplateFunctions:
+    def test_value_template_inlines_constant(self):
+        src = """
+        template <int N>
+        __device__ float scaleBy(float x) { return x * (float)N; }
+        __global__ void k(const float* in, float* out) {
+            out[threadIdx.x] = scaleBy<3>(in[threadIdx.x]);
+        }
+        """
+        x = np.arange(8, dtype=np.float32)
+        out = np.zeros(8, np.float32)
+        (_, out_), _ = run_kernel(src, 1, 8, x, out)
+        np.testing.assert_array_equal(out_, x * 3)
+
+    def test_template_controls_unrolling(self):
+        """The gpu::ctrt pattern: a template count drives a loop."""
+        src = """
+        template <int COUNT>
+        __device__ float sumFirst(const float* p) {
+            float acc = 0.0f;
+            for (int i = 0; i < COUNT; i++) acc += p[i];
+            return acc;
+        }
+        __global__ void k(const float* in, float* out) {
+            out[threadIdx.x] = sumFirst<5>(in);
+        }
+        """
+        mod = nvcc(src)
+        assert "bra" not in mod.kernel("k").to_ptx()  # fully unrolled
+        x = np.arange(8, dtype=np.float32)
+        out = np.zeros(1, np.float32)
+        (_, out_), _ = run_kernel(src, 1, 1, x, out)
+        assert out_[0] == x[:5].sum()
+
+    def test_multiple_template_params(self):
+        src = """
+        template <int A, int B>
+        __device__ int combine(int x) { return x * A + B; }
+        __global__ void k(int* out) {
+            out[threadIdx.x] = combine<3, 11>((int)threadIdx.x);
+        }
+        """
+        out = np.zeros(4, np.int32)
+        (out_,), _ = run_kernel(src, 1, 4, out)
+        np.testing.assert_array_equal(out_, np.arange(4) * 3 + 11)
+
+    def test_different_instantiations_coexist(self):
+        src = """
+        template <int N>
+        __device__ int timesN(int x) { return x * N; }
+        __global__ void k(int* out) {
+            out[threadIdx.x] = timesN<2>(10) + timesN<5>(100);
+        }
+        """
+        out = np.zeros(1, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out)
+        assert out_[0] == 20 + 500
+
+    def test_macro_as_template_argument(self):
+        """Specialization values flow into template args via -D."""
+        src = """
+        template <int N>
+        __device__ int mul(int x) { return x * N; }
+        __global__ void k(int* out) {
+            out[threadIdx.x] = mul<FACTOR>(7);
+        }
+        """
+        out = np.zeros(1, np.int32)
+        (out_,), _ = run_kernel(src, 1, 1, out, defines={"FACTOR": 6})
+        assert out_[0] == 42
+
+    def test_runtime_template_arg_rejected(self):
+        src = """
+        template <int N>
+        __device__ int f(int x) { return x + N; }
+        __global__ void k(int* out, int n) {
+            out[0] = f<n>(1);
+        }
+        """
+        with pytest.raises(CompileError, match="compile-time constant"):
+            nvcc(src)
+
+    def test_wrong_template_arity_rejected(self):
+        src = """
+        template <int A, int B>
+        __device__ int f(int x) { return x + A + B; }
+        __global__ void k(int* out) { out[0] = f<1>(0); }
+        """
+        with pytest.raises(CompileError, match="template arguments"):
+            nvcc(src)
+
+    def test_typename_param_rejected_clearly(self):
+        src = """
+        template <typename T>
+        __device__ T ident(T x) { return x; }
+        __global__ void k(int* out) { out[0] = ident<1>(1); }
+        """
+        with pytest.raises(CompileError, match="typename"):
+            nvcc(src)

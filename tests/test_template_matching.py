@@ -1,0 +1,158 @@
+"""Template-matching application tests (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.template_matching import (MatchConfig, MatchProblem,
+                                          TemplateMatcher, best_shift,
+                                          corr2_map, cpu_match_seconds,
+                                          tile_regions)
+from repro.data.frames import roi_origin, template_sequence
+from repro.gpupf import KernelCache
+from repro.gpusim import TESLA_C1060, TESLA_C2070
+
+PROBLEM = MatchProblem("T", frame_h=80, frame_w=100, tmpl_h=20,
+                       tmpl_w=16, shift_h=7, shift_w=9, n_frames=2)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    frames, tmpl, shifts = template_sequence(
+        PROBLEM.frame_h, PROBLEM.frame_w, PROBLEM.tmpl_h, PROBLEM.tmpl_w,
+        PROBLEM.shift_h, PROBLEM.shift_w, n_frames=2, seed=1)
+    return frames, tmpl, shifts
+
+
+class TestTiling:
+    def test_exact_fit_single_region(self):
+        regions = tile_regions(32, 32, 16, 16)
+        assert len(regions) == 1
+        assert regions[0].count == 4
+
+    def test_right_edge_region(self):
+        regions = tile_regions(20, 32, 16, 16)
+        assert len(regions) == 2
+        assert regions[1].tile_w == 4
+
+    def test_all_four_regions(self):
+        regions = tile_regions(20, 20, 16, 16)
+        assert len(regions) == 4
+        widths = {(r.tile_w, r.tile_h) for r in regions}
+        assert widths == {(16, 16), (4, 16), (16, 4), (4, 4)}
+
+    def test_tiles_cover_template_exactly(self):
+        """Property: regions tile the template without gaps/overlap."""
+        for (tw, th) in [(8, 8), (16, 12), (5, 7)]:
+            for (tmw, tmh) in [(16, 16), (29, 39), (22, 30)]:
+                covered = np.zeros((tmh, tmw), int)
+                for r in tile_regions(tmw, tmh, tw, th):
+                    for ty in range(r.tiles_y):
+                        for tx in range(r.tiles_x):
+                            y0 = r.y0 + ty * r.tile_h
+                            x0 = r.x0 + tx * r.tile_w
+                            covered[y0 : y0 + r.tile_h,
+                                    x0 : x0 + r.tile_w] += 1
+                assert (covered == 1).all(), (tw, th, tmw, tmh)
+
+    def test_tile_larger_than_template_clamped(self):
+        regions = tile_regions(10, 10, 64, 64)
+        assert regions[0].tile_w == 10 and regions[0].tile_h == 10
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("specialize", [True, False])
+    def test_matches_reference_map(self, workload, specialize):
+        frames, tmpl, _ = workload
+        m = TemplateMatcher(PROBLEM, tmpl,
+                            MatchConfig(tile_w=8, tile_h=8, threads=64,
+                                        specialize=specialize),
+                            cache=KernelCache())
+        result = m.match(frames[1])
+        ref = corr2_map(frames[1], tmpl, PROBLEM.shift_h, PROBLEM.shift_w)
+        np.testing.assert_allclose(result.ncc, ref, atol=1e-4)
+
+    def test_finds_ground_truth_shift(self, workload):
+        frames, tmpl, shifts = workload
+        m = TemplateMatcher(PROBLEM, tmpl, MatchConfig(),
+                            cache=KernelCache())
+        for frame, truth in zip(frames, shifts):
+            assert m.match(frame).shift == truth
+
+    @pytest.mark.parametrize("tile", [(8, 8), (16, 8), (7, 5)])
+    def test_tile_size_does_not_change_result(self, workload, tile):
+        frames, tmpl, _ = workload
+        base = TemplateMatcher(PROBLEM, tmpl, MatchConfig(
+            tile_w=8, tile_h=8), cache=KernelCache()).match(frames[1])
+        other = TemplateMatcher(PROBLEM, tmpl, MatchConfig(
+            tile_w=tile[0], tile_h=tile[1]),
+            cache=KernelCache()).match(frames[1])
+        np.testing.assert_allclose(base.ncc, other.ncc, atol=1e-4)
+
+    def test_c1060_matches_c2070(self, workload):
+        frames, tmpl, _ = workload
+        r1 = TemplateMatcher(PROBLEM, tmpl, MatchConfig(),
+                             device=TESLA_C1060,
+                             cache=KernelCache()).match(frames[1])
+        r2 = TemplateMatcher(PROBLEM, tmpl, MatchConfig(),
+                             device=TESLA_C2070,
+                             cache=KernelCache()).match(frames[1])
+        np.testing.assert_allclose(r1.ncc, r2.ncc, atol=1e-5)
+
+    def test_ncc_peak_is_high(self, workload):
+        frames, tmpl, _ = workload
+        m = TemplateMatcher(PROBLEM, tmpl, MatchConfig(),
+                            cache=KernelCache())
+        result = m.match(frames[0])
+        assert result.ncc.max() > 0.95  # near-perfect at ground truth
+
+
+class TestPerformanceShape:
+    def test_sk_not_slower_than_re(self, workload):
+        frames, tmpl, _ = workload
+        sk = TemplateMatcher(PROBLEM, tmpl, MatchConfig(specialize=True),
+                             cache=KernelCache()).match(frames[1])
+        re = TemplateMatcher(PROBLEM, tmpl, MatchConfig(specialize=False),
+                             cache=KernelCache()).match(frames[1])
+        assert sk.kernel_seconds <= re.kernel_seconds
+
+    def test_gpu_beats_modeled_cpu_at_scale(self):
+        """At paper-scale shift counts the GPU wins; at toy sizes the
+        launch overhead dominates — which is itself the correct shape.
+        Sampled (non-functional) timing keeps the sweep fast."""
+        big = MatchProblem("big", frame_h=220, frame_w=300, tmpl_h=48,
+                           tmpl_w=40, shift_h=21, shift_w=21)
+        frames, tmpl, _ = template_sequence(
+            big.frame_h, big.frame_w, big.tmpl_h, big.tmpl_w,
+            big.shift_h, big.shift_w, n_frames=1, seed=0)
+        gpu = TemplateMatcher(big, tmpl,
+                              MatchConfig(functional=False,
+                                          sample_blocks=2),
+                              cache=KernelCache()).match(frames[0])
+        cpu = cpu_match_seconds(big.tmpl_h, big.tmpl_w, big.shift_h,
+                                big.shift_w)
+        assert gpu.kernel_seconds < cpu
+
+    def test_streaming_reuses_compiled_kernels(self, workload):
+        frames, tmpl, _ = workload
+        cache = KernelCache()
+        m = TemplateMatcher(PROBLEM, tmpl, MatchConfig(), cache=cache)
+        m.match(frames[0])
+        misses = cache.misses
+        m.match(frames[1])  # second frame: no recompilation
+        assert cache.misses == misses
+
+
+class TestGeometry:
+    def test_roi_origin_centered(self):
+        ry0, rx0 = roi_origin(100, 100, 20, 20, 10, 10)
+        assert ry0 == (100 - 20 - 10 + 1) // 2
+
+    def test_roi_too_large_raises(self):
+        with pytest.raises(ValueError):
+            roi_origin(30, 30, 20, 20, 20, 20)
+
+    def test_template_shape_validated(self, workload):
+        _, tmpl, _ = workload
+        with pytest.raises(ValueError):
+            TemplateMatcher(PROBLEM, tmpl[:-1], MatchConfig(),
+                            cache=KernelCache())

@@ -1,0 +1,64 @@
+"""Tests for the CT/RT toggle scaffolding (templates module)."""
+
+import pytest
+
+from repro.kernelc import nvcc
+from repro.kernelc.templates import (FLEXIBLE_MATHTEST, ctrt_block,
+                                     specialization_defines)
+
+
+class TestCtrtBlock:
+    def test_generates_toggle_per_parameter(self):
+        text = ctrt_block({"FOO": "fooArg", "BAR": "a * b"})
+        assert "#ifdef CT_FOO" in text
+        assert "#define FOO_VAL (FOO)" in text
+        assert "#define FOO_VAL (fooArg)" in text
+        assert "#define BAR_VAL (a * b)" in text
+
+    def test_compiles_in_both_regimes(self):
+        src = ctrt_block({"K": "k"}) + """
+        __global__ void f(float* o, int k) {
+            o[threadIdx.x] = (float)K_VAL;
+        }
+        """
+        re_mod = nvcc(src)
+        sk_mod = nvcc(src, defines={"CT_K": 1, "K": 42})
+        assert "ld.param" in re_mod.kernel("f").to_ptx()
+        assert "42" in sk_mod.kernel("f").to_ptx()
+
+
+class TestSpecializationDefines:
+    def test_all_parameters_by_default(self):
+        d = specialization_defines({"A": 1, "B": 2})
+        assert d == {"CT_A": 1, "A": 1, "CT_B": 1, "B": 2}
+
+    def test_subset_selection(self):
+        d = specialization_defines({"A": 1, "B": 2}, enable=["B"])
+        assert d == {"CT_B": 1, "B": 2}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            specialization_defines({"A": 1}, enable=["Z"])
+
+
+class TestFlexibleMathtest:
+    def test_has_all_four_toggles(self):
+        for name in ("LOOP_COUNT", "ARG_A", "ARG_B", "BLOCK_DIM_X"):
+            assert f"CT_{name}" in FLEXIBLE_MATHTEST
+
+    def test_re_compilation_reads_all_params(self):
+        ptx = nvcc(FLEXIBLE_MATHTEST).kernel("mathTest").to_ptx()
+        for param in ("argA", "argB", "loopCount"):
+            assert param in ptx
+
+    def test_sk_compilation_ignores_params(self):
+        """Appendix D: 'The specialized PTX kernel contains no
+        references to the input arguments' (except the pointers)."""
+        defines = specialization_defines({
+            "LOOP_COUNT": 3, "ARG_A": 2, "ARG_B": 5, "BLOCK_DIM_X": 64})
+        ptx = nvcc(FLEXIBLE_MATHTEST, defines=defines) \
+            .kernel("mathTest").to_ptx()
+        for param in ("argA", "argB", "loopCount"):
+            assert f"[%{param}]" not in ptx
+        # Signature is preserved for interchangeability.
+        assert ".param s32 argA" in ptx

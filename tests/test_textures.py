@@ -1,0 +1,137 @@
+"""Texture reference, sampling, and binding tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU, TESLA_C1060, TESLA_C2070
+from repro.gpusim.executor import SimError
+from repro.kernelc import CompileError, nvcc
+
+TEX2D_SRC = """
+texture<float, 2> imgTex;
+__global__ void sample(float* out, const float* xs, const float* ys,
+                       int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) out[i] = tex2D(imgTex, xs[i], ys[i]);
+}
+"""
+
+
+def run_tex2d(img, xs, ys, address="clamp", filter="point",
+              spec=TESLA_C2070):
+    mod = nvcc(TEX2D_SRC, arch=spec.arch)
+    gpu = GPU(spec)
+    d_img = gpu.alloc_array(np.ascontiguousarray(img, np.float32))
+    gpu.bind_texture(mod, "imgTex", d_img, width=img.shape[1],
+                     height=img.shape[0], address=address,
+                     filter=filter)
+    n = len(xs)
+    d_xs = gpu.alloc_array(np.asarray(xs, np.float32))
+    d_ys = gpu.alloc_array(np.asarray(ys, np.float32))
+    d_out = gpu.zeros(n, np.float32)
+    gpu.launch(mod.kernel("sample"), (n + 31) // 32, 32,
+               [d_out, d_xs, d_ys, n])
+    return gpu.memcpy_dtoh(d_out, np.float32, n)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return np.arange(24, dtype=np.float32).reshape(4, 6)
+
+
+class TestSampling:
+    def test_point_at_centers(self, image):
+        xs = [0.5, 1.5, 5.5]
+        ys = [0.5, 2.5, 3.5]
+        out = run_tex2d(image, xs, ys)
+        np.testing.assert_array_equal(out, [image[0, 0], image[2, 1],
+                                            image[3, 5]])
+
+    def test_linear_interpolates_midpoints(self, image):
+        # Halfway between texels (0,0) and (1,0) along x.
+        out = run_tex2d(image, [1.0], [0.5], filter="linear")
+        expected = (image[0, 0] + image[0, 1]) / 2
+        np.testing.assert_allclose(out, [expected], rtol=1e-6)
+
+    def test_clamp_addressing(self, image):
+        out = run_tex2d(image, [-3.0, 100.0], [0.5, 0.5])
+        np.testing.assert_array_equal(out, [image[0, 0], image[0, 5]])
+
+    def test_wrap_addressing(self, image):
+        out = run_tex2d(image, [6.5, 7.5], [0.5, 0.5], address="wrap")
+        np.testing.assert_array_equal(out, [image[0, 0], image[0, 1]])
+
+    def test_border_addressing_returns_zero(self, image):
+        out = run_tex2d(image, [-3.0, 2.5], [0.5, 0.5],
+                        address="border")
+        np.testing.assert_array_equal(out, [0.0, image[0, 2]])
+
+    def test_tex1dfetch_elementwise(self):
+        src = """
+        texture<float, 1> vecTex;
+        __global__ void f(float* out, int n) {
+            int i = threadIdx.x;
+            if (i < n) out[i] = tex1Dfetch(vecTex, i);
+        }
+        """
+        mod = nvcc(src)
+        gpu = GPU(TESLA_C2070)
+        v = np.random.default_rng(0).random(32).astype(np.float32)
+        d_v = gpu.alloc_array(v)
+        gpu.bind_texture(mod, "vecTex", d_v, width=32)
+        d_out = gpu.zeros(32, np.float32)
+        gpu.launch(mod.kernel("f"), 1, 32, [d_out, 32])
+        np.testing.assert_array_equal(
+            gpu.memcpy_dtoh(d_out, np.float32, 32), v)
+
+
+class TestBindingValidation:
+    def test_unbound_texture_faults_at_launch(self, image):
+        mod = nvcc(TEX2D_SRC)
+        gpu = GPU(TESLA_C2070)
+        d_out = gpu.zeros(4, np.float32)
+        d_c = gpu.alloc_array(np.zeros(4, np.float32))
+        with pytest.raises(SimError, match="not bound"):
+            gpu.launch(mod.kernel("sample"), 1, 4,
+                       [d_out, d_c, d_c, 4])
+
+    def test_unknown_texture_name_rejected(self, image):
+        mod = nvcc(TEX2D_SRC)
+        gpu = GPU(TESLA_C2070)
+        with pytest.raises(SimError, match="no texture"):
+            gpu.bind_texture(mod, "nope", 0, width=4)
+
+    def test_bad_modes_rejected(self, image):
+        mod = nvcc(TEX2D_SRC)
+        gpu = GPU(TESLA_C2070)
+        addr = gpu.alloc_array(image)
+        with pytest.raises(SimError):
+            gpu.bind_texture(mod, "imgTex", addr, width=6, height=4,
+                             address="mirror")
+        with pytest.raises(SimError):
+            gpu.bind_texture(mod, "imgTex", addr, width=6, height=4,
+                             filter="cubic")
+
+    def test_dimensionality_checked_at_compile(self):
+        src = """
+        texture<float, 1> t;
+        __global__ void k(float* o) {
+            o[0] = tex2D(t, 0.5f, 0.5f);
+        }
+        """
+        with pytest.raises(CompileError, match="1D"):
+            nvcc(src)
+
+    def test_unknown_reference_at_compile(self):
+        src = """
+        __global__ void k(float* o) {
+            o[0] = tex1Dfetch(ghost, 0);
+        }
+        """
+        with pytest.raises(CompileError, match="unknown texture"):
+            nvcc(src)
+
+    def test_works_on_both_devices(self, image):
+        a = run_tex2d(image, [2.5], [1.5], spec=TESLA_C1060)
+        b = run_tex2d(image, [2.5], [1.5], spec=TESLA_C2070)
+        np.testing.assert_array_equal(a, b)

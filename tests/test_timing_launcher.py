@@ -1,0 +1,135 @@
+"""Timing model and launcher API tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPU, TESLA_C1060, TESLA_C2070
+from repro.gpusim.executor import BlockStats, SimError, WarpStats
+from repro.gpusim.memory import MemoryError_
+from repro.gpusim.occupancy import Occupancy
+from repro.gpusim.timing import kernel_timing
+from repro.kernelc import nvcc
+
+COPY_SRC = """
+__global__ void copy(const float* in, float* out, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) out[i] = in[i];
+}
+"""
+
+
+def make_stats(issue=1000.0, mem_bytes=0, stalls=0, warps=4):
+    ws = [WarpStats(issue_cycles=issue / warps,
+                    mem_bytes=mem_bytes // warps,
+                    global_stalls=stalls) for _ in range(warps)]
+    return BlockStats(warps=ws)
+
+
+def occ(blocks=8, warps=4):
+    return Occupancy(blocks_per_sm=blocks, warps_per_block=warps,
+                     limited_by="warps")
+
+
+class TestTimingModel:
+    def test_issue_bound_scaling(self):
+        t1 = kernel_timing(TESLA_C2070, occ(), 1400, [make_stats(1000)])
+        t2 = kernel_timing(TESLA_C2070, occ(), 1400, [make_stats(2000)])
+        assert t2.cycles == pytest.approx(2 * t1.cycles)
+
+    def test_bandwidth_bound_detected(self):
+        stats = make_stats(issue=10.0, mem_bytes=10_000_000)
+        t = kernel_timing(TESLA_C2070, occ(), 1400, [stats])
+        assert t.bound == "bandwidth"
+
+    def test_latency_bound_at_low_occupancy(self):
+        stats = make_stats(issue=100.0, stalls=50)
+        t = kernel_timing(TESLA_C2070, occ(blocks=1, warps=1), 14,
+                          [stats])
+        assert t.bound == "latency"
+        assert t.latency_bound >= 50 * TESLA_C2070.mem_latency / 4
+
+    def test_rounds_grow_with_grid(self):
+        small = kernel_timing(TESLA_C2070, occ(), 14, [make_stats()])
+        large = kernel_timing(TESLA_C2070, occ(), 14 * 8 * 3,
+                              [make_stats()])
+        assert large.rounds == 3 * small.rounds
+
+    def test_small_grid_does_not_serialize_one_sm(self):
+        """A 6-block grid on 14 SMs must not pay 6 blocks' issue."""
+        t = kernel_timing(TESLA_C2070, occ(blocks=8), 6,
+                          [make_stats(1000)])
+        assert t.issue_bound == pytest.approx(1000.0)
+
+    def test_no_samples_raises(self):
+        with pytest.raises(ValueError):
+            kernel_timing(TESLA_C2070, occ(), 10, [])
+
+    def test_seconds_include_launch_overhead(self):
+        t = kernel_timing(TESLA_C2070, occ(), 1, [make_stats(1.0)])
+        assert t.seconds >= TESLA_C2070.launch_overhead_us * 1e-6
+
+
+class TestLauncherAPI:
+    def setup_method(self):
+        self.gpu = GPU(TESLA_C2070)
+        self.module = nvcc(COPY_SRC)
+        self.kernel = self.module.kernel("copy")
+
+    def test_wrong_arg_count_rejected(self):
+        with pytest.raises(SimError, match="takes 3 arguments"):
+            self.gpu.launch(self.kernel, 1, 32, [0, 0])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SimError):
+            self.gpu.launch(self.kernel, 0, 32, [0, 0, 0])
+
+    def test_sampled_launch_spreads_blocks(self):
+        x = np.arange(1024, dtype=np.float32)
+        d_in = self.gpu.alloc_array(x)
+        d_out = self.gpu.zeros(1024, np.float32)
+        result = self.gpu.launch(self.kernel, 32, 32,
+                                 [d_in, d_out, 1024],
+                                 functional=False, sample_blocks=4)
+        assert result.blocks_executed == 4
+        # Outputs incomplete by design in sampled mode.
+
+    def test_functional_launch_executes_all(self):
+        x = np.arange(256, dtype=np.float32)
+        d_in = self.gpu.alloc_array(x)
+        d_out = self.gpu.zeros(256, np.float32)
+        result = self.gpu.launch(self.kernel, 8, 32, [d_in, d_out, 256])
+        assert result.blocks_executed == 8
+        np.testing.assert_array_equal(
+            self.gpu.memcpy_dtoh(d_out, np.float32, 256), x)
+
+    def test_launch_result_metadata(self):
+        d_in = self.gpu.zeros(64, np.float32)
+        d_out = self.gpu.zeros(64, np.float32)
+        result = self.gpu.launch(self.kernel, 2, 32, [d_in, d_out, 64])
+        assert result.grid == (2, 1, 1)
+        assert result.block == (32, 1, 1)
+        assert result.instructions > 0
+        assert result.seconds > 0
+
+    def test_device_memory_roundtrip(self):
+        data = np.random.default_rng(0).random(100).astype(np.float32)
+        addr = self.gpu.alloc_array(data)
+        np.testing.assert_array_equal(
+            self.gpu.memcpy_dtoh(addr, np.float32, 100), data)
+
+    def test_oom_reported(self):
+        small = GPU(TESLA_C2070, memory_bytes=1024)
+        with pytest.raises(MemoryError_, match="out of memory"):
+            small.malloc(10_000)
+
+    def test_reset_reclaims_memory(self):
+        gpu = GPU(TESLA_C2070, memory_bytes=4096)
+        gpu.malloc(2048)
+        gpu.reset()
+        gpu.malloc(2048)  # fits again
+
+    def test_c1060_rejects_1024_threads(self):
+        from repro.gpusim.occupancy import OccupancyError
+        gpu = GPU(TESLA_C1060)
+        with pytest.raises(OccupancyError):
+            gpu.launch(self.kernel, 1, 1024, [0, 0, 0])

@@ -1,0 +1,91 @@
+"""Tuning/sweep machinery tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.piv import PIVProblem
+from repro.data.piv import particle_image_pair
+from repro.gpusim import TESLA_C1060, TESLA_C2070
+from repro.tuning import (best_record, contour_series, percent_of_peak,
+                          peak_grid_text, piv_sweep)
+from repro.tuning.sweep import SweepRecord, Sweeper, grid_configs
+
+
+class TestSweeper:
+    def test_grid_configs_cartesian(self):
+        configs = grid_configs(a=[1, 2], b=["x", "y", "z"])
+        assert len(configs) == 6
+        assert {(c["a"], c["b"]) for c in configs} == \
+            {(a, b) for a in (1, 2) for b in "xyz"}
+
+    def test_failures_recorded_not_raised(self):
+        def run(config):
+            if config["n"] == 2:
+                raise RuntimeError("occupancy")
+            return SweepRecord(config=config, seconds=config["n"])
+
+        records = Sweeper(run).sweep(grid_configs(n=[1, 2, 3]))
+        assert len(records) == 3
+        assert not records[1].valid
+        assert best_record(records).config["n"] == 1
+
+    def test_best_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_record([SweepRecord(config={}, seconds=1.0,
+                                     valid=False, error="x")])
+
+
+class TestGrids:
+    def _records(self):
+        data = {(1, 32): 4.0, (1, 64): 2.0, (2, 32): 1.0, (2, 64): 2.0}
+        return [SweepRecord(config={"rb": rb, "threads": t}, seconds=s)
+                for (rb, t), s in data.items()]
+
+    def test_percent_of_peak(self):
+        rows, cols, grid = percent_of_peak(self._records(), "rb",
+                                           "threads")
+        assert rows == [1, 2] and cols == [32, 64]
+        assert grid[1][0] == 100.0
+        assert grid[0][0] == 25.0
+
+    def test_invalid_cells_are_none(self):
+        records = self._records()
+        records.append(SweepRecord(config={"rb": 4, "threads": 32},
+                                   seconds=float("inf"), valid=False))
+        records.append(SweepRecord(config={"rb": 4, "threads": 64},
+                                   seconds=3.0))
+        rows, cols, grid = percent_of_peak(records, "rb", "threads")
+        assert grid[2][0] is None and grid[2][1] is not None
+
+    def test_grid_text_shape(self):
+        headers, body = peak_grid_text(self._records(), "rb", "threads")
+        assert headers[0].startswith("rb")
+        assert len(body) == 2 and len(body[0]) == 3
+
+    def test_contour_series(self):
+        series = contour_series(self._records(), "rb", "threads")
+        assert series[0][0] == 1
+        assert series[1][1][0] == (32, 100.0)
+
+
+class TestPIVSweepIntegration:
+    def test_sweep_finds_interior_optimum(self):
+        problem = PIVProblem("t", 48, 64, mask=8, offs=5)
+        a, b = particle_image_pair(48, 64, seed=0)
+        records = piv_sweep(problem, TESLA_C2070, a, b,
+                            rb_values=[1, 4], thread_values=[32, 64])
+        assert len(records) == 4
+        assert all(r.valid for r in records)
+        best = best_record(records)
+        assert best.seconds <= min(r.seconds for r in records)
+
+    def test_unlaunchable_configs_survive_as_invalid(self):
+        """rb=16 at 512 threads exceeds the C1060 register file."""
+        problem = PIVProblem("t", 48, 64, mask=8, offs=5)
+        a, b = particle_image_pair(48, 64, seed=0)
+        records = piv_sweep(problem, TESLA_C1060, a, b,
+                            rb_values=[16], thread_values=[512])
+        assert len(records) == 1
+        assert not records[0].valid
+        assert "Occupancy" in records[0].error or \
+            "occupancy" in records[0].error.lower() or records[0].error

@@ -1,0 +1,110 @@
+"""Tests for the GPU-PF validation harness and specialize() helper."""
+
+import numpy as np
+import pytest
+
+from repro.gpupf import KernelCache
+from repro.gpupf.validate import ValidationReport, Validator
+from repro.gpusim import GPU, TESLA_C2070
+from repro.kernelc.templates import ctrt_block, specialize
+
+SRC = ctrt_block({"N": "n"}) + """
+__global__ void doubleUp(const float* in, float* out, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < N_VAL) out[i] = in[i] * 2.0f;
+}
+"""
+
+
+def make_validator(cache=None, bug=False):
+    cache = cache or KernelCache()
+    gpu = GPU(TESLA_C2070)
+    factor = 2.0 if not bug else 2.0 + 1e-2
+
+    def run_gpu(params):
+        n = params["n"]
+        rng = np.random.default_rng(n)
+        x = rng.random(n).astype(np.float32)
+        module = cache.compile(SRC, defines={"CT_N": 1, "N": n})
+        d_in = gpu.alloc_array(x)
+        d_out = gpu.zeros(n, np.float32)
+        result = gpu.launch(module.kernel("doubleUp"),
+                            grid=(n + 63) // 64, block=64,
+                            args=[d_in, d_out, n])
+        return gpu.memcpy_dtoh(d_out, np.float32, n), result.seconds
+
+    def run_ref(params):
+        n = params["n"]
+        rng = np.random.default_rng(n)
+        return rng.random(n).astype(np.float32) * np.float32(factor)
+
+    return Validator(run_gpu, run_ref)
+
+
+class TestValidator:
+    def test_passing_sweep(self):
+        report = make_validator().sweep([{"n": n}
+                                         for n in (17, 64, 100)])
+        assert report.passed
+        assert len(report.cases) == 3
+        assert "PASS" in report.summary()
+
+    def test_detects_mismatch(self):
+        report = make_validator(bug=True).sweep([{"n": 64}])
+        assert not report.passed
+        assert len(report.failures) == 1
+        assert "FAIL" in report.summary()
+        assert report.cases[0].max_rel_err > 1e-3
+
+    def test_shape_mismatch_reported(self):
+        v = Validator(lambda p: (np.zeros(3), 0.0),
+                      lambda p: np.zeros(4))
+        case = v.check({"n": 1})
+        assert not case.passed
+        assert "shape" in case.detail
+
+    def test_error_statistics(self):
+        v = Validator(lambda p: (np.array([1.0, 2.0]), 0.0),
+                      lambda p: np.array([1.0, 2.5]))
+        case = v.check({})
+        assert case.max_abs_err == pytest.approx(0.5)
+        assert case.max_rel_err == pytest.approx(0.2)
+
+
+class TestSpecializeSourceToSource:
+    def test_identifier_substitution(self):
+        src = """
+        __global__ void k(float* out) {
+            out[threadIdx.x] = (float)WIDTH * SCALE;
+        }
+        """
+        kernel = specialize(src, "k", WIDTH=10, SCALE=0.5)
+        gpu = GPU(TESLA_C2070)
+        d_out = gpu.zeros(4, np.float32)
+        gpu.launch(kernel, 1, 4, [d_out])
+        np.testing.assert_allclose(gpu.memcpy_dtoh(d_out, np.float32, 4),
+                                   5.0)
+
+    def test_word_boundaries_respected(self):
+        """'N' must not rewrite inside 'NOT_N' or 'N2'."""
+        src = """
+        __global__ void k(float* out, int NOT_N, int N2) {
+            out[threadIdx.x] = (float)(N + NOT_N + N2);
+        }
+        """
+        kernel = specialize(src, "k", N=7)
+        gpu = GPU(TESLA_C2070)
+        d_out = gpu.zeros(1, np.float32)
+        gpu.launch(kernel, 1, 1, [d_out, 100, 2000])
+        assert gpu.memcpy_dtoh(d_out, np.float32, 1)[0] == 2107.0
+
+    def test_unrolls_like_defines(self):
+        src = """
+        __global__ void k(const float* x, float* out) {
+            float acc = 0.0f;
+            for (int i = 0; i < COUNT; i++) acc += x[i];
+            out[threadIdx.x] = acc;
+        }
+        """
+        kernel = specialize(src, "k", COUNT=6)
+        assert "bra" not in kernel.to_ptx()
