@@ -1,0 +1,151 @@
+"""Serial-vs-batched engine comparison on the sweep workloads.
+
+Runs the Table 6.21 (template matching) and Table 6.22 (PIV) workloads
+*functionally* — every block executes — under both execution engines,
+asserts the batched engine's exactness contract (bit-identical outputs
+and identical simulated kernel time, i.e. identical cycle counts), and
+records the wall-clock speedups to ``BENCH_engine.json`` at the repo
+root.
+
+The full comparison is marked ``slow`` (the serial oracle needs about a
+minute of wall time); the default bench run executes only the quick
+equivalence smoke below.  Run everything with::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_engine.py \
+        -m "slow or not slow"
+
+or directly with ``python benchmarks/bench_engine.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import piv_images, timed, tm_frames, \
+    write_bench_json
+from repro.apps.piv.host import PIVConfig, PIVProcessor
+from repro.apps.piv.problems import MASK_SET
+from repro.apps.template_matching.host import MatchConfig, \
+    TemplateMatcher
+from repro.apps.template_matching.problems import PATIENTS, PATIENTS_FULL
+from repro.gpusim import TESLA_C2070
+from repro.gpusim.engine import DEFAULT_BATCH_BLOCKS
+
+#: Required wall-clock advantage of the batched engine on the sweep
+#: workloads (the tentpole's acceptance bar).
+SPEEDUP_FLOOR = 3.0
+
+
+def _piv_case(problem, rb: int, threads: int) -> dict:
+    """One Table 6.22 PIV configuration under both engines."""
+    img_a, img_b = piv_images(problem)
+
+    # Compile outside the timed region: the binary is engine-independent
+    # and a long-running host would reuse it from the kernel cache.
+    procs = {engine: PIVProcessor(
+        problem, PIVConfig(rb=rb, threads=threads, engine=engine),
+        TESLA_C2070) for engine in ("batched", "serial")}
+    wall_b, res_b = timed(procs["batched"].run, img_a, img_b)
+    wall_s, res_s = timed(procs["serial"].run, img_a, img_b)
+    return {
+        "name": f"piv-{problem.name}-rb{rb}-t{threads}",
+        "workload": "Table 6.22 (PIV mask-size sets)",
+        "problem": problem.name,
+        "config": {"rb": rb, "threads": threads},
+        "device": TESLA_C2070.name,
+        "blocks": len(problem.window_origins()[0]),
+        "wall_serial_s": wall_s,
+        "wall_batched_s": wall_b,
+        "speedup": wall_s / wall_b,
+        "sim_kernel_seconds": res_s.kernel_seconds,
+        "sim_identical": res_s.kernel_seconds == res_b.kernel_seconds,
+        "outputs_identical":
+            res_s.scores.tobytes() == res_b.scores.tobytes(),
+    }
+
+
+def _tm_case(problem, tile, threads: int) -> dict:
+    """One Table 6.21 template-matching configuration, both engines."""
+    frames, template, _ = tm_frames(problem)
+    tile_w, tile_h = tile
+
+    # Pipelines are built (and kernels compiled) outside the timing.
+    matchers = {engine: TemplateMatcher(
+        problem, template,
+        MatchConfig(tile_w=tile_w, tile_h=tile_h, threads=threads,
+                    functional=True, engine=engine),
+        TESLA_C2070) for engine in ("batched", "serial")}
+    wall_b, res_b = timed(matchers["batched"].match, frames[0])
+    wall_s, res_s = timed(matchers["serial"].match, frames[0])
+    return {
+        "name": f"tm-{problem.name}-{tile_w}x{tile_h}-t{threads}",
+        "workload": "Table 6.21 (template matching, full-size)",
+        "problem": problem.name,
+        "config": {"tile": list(tile), "threads": threads},
+        "device": TESLA_C2070.name,
+        "wall_serial_s": wall_s,
+        "wall_batched_s": wall_b,
+        "speedup": wall_s / wall_b,
+        "sim_kernel_seconds": res_s.kernel_seconds,
+        "sim_identical": res_s.kernel_seconds == res_b.kernel_seconds,
+        "outputs_identical": res_s.ncc.tobytes() == res_b.ncc.tobytes(),
+    }
+
+
+def run_engine_bench() -> dict:
+    """All cases + aggregate; writes ``BENCH_engine.json``."""
+    cases = [
+        _piv_case(MASK_SET[0], rb=4, threads=64),
+        _tm_case(PATIENTS_FULL[0], tile=(16, 8), threads=128),
+    ]
+    total_s = sum(c["wall_serial_s"] for c in cases)
+    total_b = sum(c["wall_batched_s"] for c in cases)
+    payload = {
+        "bench": "engine",
+        "engines": ["serial", "batched"],
+        "batch_blocks": DEFAULT_BATCH_BLOCKS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "cases": cases,
+        "aggregate": {
+            "wall_serial_s": total_s,
+            "wall_batched_s": total_b,
+            "speedup": total_s / total_b,
+            "min_case_speedup": min(c["speedup"] for c in cases),
+        },
+    }
+    write_bench_json("BENCH_engine.json", payload)
+    return payload
+
+
+def test_engine_equivalence_smoke():
+    """Quick default check: batched ≡ serial on a small functional TM."""
+    case = _tm_case(PATIENTS[0], tile=(16, 16), threads=128)
+    assert case["outputs_identical"]
+    assert case["sim_identical"]
+
+
+@pytest.mark.slow
+def test_engine_speedup():
+    payload = run_engine_bench()
+    for case in payload["cases"]:
+        assert case["outputs_identical"], case["name"]
+        assert case["sim_identical"], case["name"]
+        assert case["speedup"] >= SPEEDUP_FLOOR, case
+    assert payload["aggregate"]["speedup"] >= SPEEDUP_FLOOR
+
+
+if __name__ == "__main__":
+    result = run_engine_bench()
+    for case in result["cases"]:
+        print(f"{case['name']:32s} serial {case['wall_serial_s']:7.2f}s"
+              f"  batched {case['wall_batched_s']:7.2f}s"
+              f"  speedup {case['speedup']:5.2f}x"
+              f"  identical={case['outputs_identical']}")
+    agg = result["aggregate"]
+    print(f"aggregate speedup {agg['speedup']:.2f}x "
+          f"(floor {SPEEDUP_FLOOR}x)")

@@ -46,6 +46,7 @@ def _build():
     return build_contours(TESLA_C1060)
 
 
+@pytest.mark.slow
 def test_figure_6_1(benchmark):
     text, peaks = benchmark.pedantic(_build, rounds=1, iterations=1)
     emit("figure_6_1", text + f"\nnote: {SCALE_NOTE}")

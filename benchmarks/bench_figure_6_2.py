@@ -17,6 +17,7 @@ def _build():
     return build_contours(TESLA_C2070)
 
 
+@pytest.mark.slow
 def test_figure_6_2(benchmark):
     text, peaks = benchmark.pedantic(_build, rounds=1, iterations=1)
     emit("figure_6_2", text + f"\nnote: {SCALE_NOTE}")

@@ -50,6 +50,7 @@ def _build():
         note="100% marks each row's own sweep optimum"), fractions
 
 
+@pytest.mark.slow
 def test_table_6_21(benchmark):
     text, fractions = benchmark.pedantic(_build, rounds=1, iterations=1)
     emit("table_6_21", text)

@@ -57,6 +57,7 @@ def _build():
         note=SCALE_NOTE), fractions
 
 
+@pytest.mark.slow
 def test_table_6_22(benchmark):
     text, fractions = benchmark.pedantic(_build, rounds=1, iterations=1)
     emit("table_6_22", text)

@@ -7,7 +7,10 @@ as GPU-PF's binary cache would in a long-running application (§4.3).
 
 from __future__ import annotations
 
+import json
+import time
 from functools import lru_cache
+from pathlib import Path
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -68,3 +71,20 @@ def us(seconds: float) -> float:
 
 def ms(seconds: float) -> float:
     return seconds * 1e3
+
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def timed(fn, *args, **kwargs) -> Tuple[float, object]:
+    """(wall_seconds, result) of one call — for engine comparisons."""
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def write_bench_json(filename: str, payload: Dict) -> Path:
+    """Persist a machine-readable bench record at the repo root."""
+    path = REPO_ROOT / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

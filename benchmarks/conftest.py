@@ -5,3 +5,11 @@ from pathlib import Path
 
 # Allow `from benchmarks.common import ...` regardless of invocation dir.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+
+def pytest_configure(config):
+    # Default bench smoke: skip the full-sweep benches unless the user
+    # picked their own -m expression.  Run everything with
+    # ``-m "slow or not slow"``.
+    if not config.option.markexpr:
+        config.option.markexpr = "not slow"

@@ -55,6 +55,7 @@ class BPConfig:
     use_texture: bool = False
     functional: bool = True
     sample_blocks: int = 4
+    engine: Optional[str] = None  # simulator engine (None = default)
 
     def __post_init__(self):
         if not 1 <= self.zb <= ZB_MAX:
@@ -133,7 +134,8 @@ class Backprojector:
                   geom.source_dist + geom.det_dist,
                   1.0 / geom.det_spacing, (p.det_u - 1) / 2.0,
                   (p.det_v - 1) / 2.0, cfg.zb],
-            functional=cfg.functional, sample_blocks=cfg.sample_blocks)
+            functional=cfg.functional, sample_blocks=cfg.sample_blocks,
+            engine=cfg.engine)
         transfer = projections.nbytes / 5.7e9 + 2e-5
         volume = None
         if cfg.functional:

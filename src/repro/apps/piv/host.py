@@ -32,6 +32,7 @@ class PIVConfig:
     specialize: bool = True
     functional: bool = True
     sample_blocks: int = 4
+    engine: Optional[str] = None  # simulator engine (None = default)
 
     def __post_init__(self):
         if self.variant not in ("tree", "warpspec"):
@@ -107,7 +108,8 @@ class PIVProcessor:
             args=[d_a, d_b, d_xs, d_ys, d_scores, p.img_w, p.mask,
                   p.mask, p.offs, p.offs, center, center, cfg.rb],
             functional=cfg.functional,
-            sample_blocks=cfg.sample_blocks)
+            sample_blocks=cfg.sample_blocks,
+            engine=cfg.engine)
         transfer = (img_a.nbytes + img_b.nbytes + xs.nbytes + ys.nbytes) \
             / 5.7e9 + 2e-5
         scores = vectors = None

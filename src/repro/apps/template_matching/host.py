@@ -66,6 +66,7 @@ class MatchConfig:
     specialize: bool = True
     functional: bool = True
     sample_blocks: int = 4
+    engine: Optional[str] = None  # simulator engine (None = default)
 
 
 @dataclass(frozen=True)
@@ -143,7 +144,7 @@ class TemplateMatcher:
                                     self.config.tile_h)
         self.num_tiles = sum(r.count for r in self.regions)
         self.pipe = Pipeline(self.gpu, f"match-{problem.name}",
-                             cache=cache)
+                             cache=cache, engine=self.config.engine)
         self._build()
 
     # -- pipeline construction ---------------------------------------

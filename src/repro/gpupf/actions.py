@@ -125,7 +125,8 @@ class KernelExecution(Action):
                  dynamic_smem: Union[int, Parameter] = 0,
                  schedule: Optional[Schedule] = None,
                  functional: bool = True,
-                 sample_blocks: int = 8):
+                 sample_blocks: int = 8,
+                 engine: Optional[str] = None):
         super().__init__(name, pipeline, schedule)
         self.kernel = kernel
         self.grid = grid
@@ -134,6 +135,7 @@ class KernelExecution(Action):
         self.dynamic_smem = dynamic_smem
         self.functional = functional
         self.sample_blocks = sample_blocks
+        self.engine = engine
         self.last_result = None
 
     def _resolve_arg(self, arg):
@@ -154,7 +156,8 @@ class KernelExecution(Action):
             compiled, grid, block, args,
             dynamic_smem=int(_resolve(self.dynamic_smem)),
             functional=self.functional,
-            sample_blocks=self.sample_blocks)
+            sample_blocks=self.sample_blocks,
+            engine=self.engine)
         self.last_result = result
         return result.seconds
 

@@ -17,6 +17,11 @@ from typing import Dict, Mapping, Optional
 
 from repro.kernelc.compiler import CompiledModule, nvcc
 
+#: On-disk entry layout version.  Bump whenever the pickled module
+#: graph changes shape; stale files then recompile instead of
+#: unpickling garbage into the running process.
+_FORMAT_VERSION = 2
+
 
 def cache_key(source: str, defines: Optional[Mapping[str, object]],
               arch: str, opt_level: int) -> str:
@@ -61,12 +66,13 @@ class KernelCache:
             if os.path.exists(path):
                 try:
                     with open(path, "rb") as fh:
-                        module = pickle.load(fh)
-                    self._memory[key] = module
-                    self.hits += 1
-                    return module
+                        version, module = pickle.load(fh)
+                    if version == _FORMAT_VERSION:
+                        self._memory[key] = module
+                        self.hits += 1
+                        return module
                 except Exception:
-                    pass  # corrupt entry: recompile below
+                    pass  # corrupt/legacy entry: recompile below
         self.misses += 1
         module = nvcc(source, defines=defines, arch=arch,
                       opt_level=opt_level, headers=headers)
@@ -76,7 +82,8 @@ class KernelCache:
             tmp = path + f".tmp{os.getpid()}"
             try:
                 with open(tmp, "wb") as fh:
-                    pickle.dump(module, fh)
+                    pickle.dump((_FORMAT_VERSION, module), fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, path)
             except OSError:
                 pass

@@ -31,11 +31,15 @@ class Pipeline:
 
     def __init__(self, gpu, name: str = "pipeline",
                  cache: Optional[KernelCache] = None,
-                 verbose: bool = False):
+                 verbose: bool = False,
+                 engine: Optional[str] = None):
         self.gpu = gpu
         self.name = name
         self.cache = cache or DEFAULT_CACHE
         self.verbose = verbose
+        #: Simulator engine for every kernel_exec of this pipeline
+        #: (None = process default); per-action ``engine=`` overrides.
+        self.engine = engine
         self.params: Dict[str, par.Parameter] = {}
         self.resources: Dict[str, res.Resource] = {}
         self.actions: Dict[str, act.Action] = {}
@@ -164,11 +168,12 @@ class Pipeline:
 
     def kernel_exec(self, name, kernel, grid, block, args,
                     dynamic_smem=0, schedule=None, functional=True,
-                    sample_blocks=8):
+                    sample_blocks=8, engine=None):
         return self._add_action(act.KernelExecution(
             name, self, kernel, grid, block, args,
             dynamic_smem=dynamic_smem, schedule=schedule,
-            functional=functional, sample_blocks=sample_blocks))
+            functional=functional, sample_blocks=sample_blocks,
+            engine=engine if engine is not None else self.engine))
 
     def user_function(self, name, fn, schedule=None):
         return self._add_action(act.UserFunction(name, self, fn,

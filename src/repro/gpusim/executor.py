@@ -24,6 +24,7 @@ parallelism (§2.3 of the dissertation).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -112,7 +113,8 @@ class KernelPlan:
     """Pre-computed execution structures shared across blocks."""
 
     def __init__(self, kernel: IRKernel, device: DeviceSpec):
-        self.kernel = kernel
+        # Weak so a cached plan never pins a dead kernel module.
+        self._kernel_ref = weakref.ref(kernel)
         self.device = device
         cfg = CFG(kernel)
         self.label_index = cfg.label_index
@@ -123,6 +125,10 @@ class KernelPlan:
             self._plan(i) for i in cfg.instrs]
         self.n_regs = len(self._reg_dtypes)
         self.n = len(self.instrs)
+
+    @property
+    def kernel(self) -> Optional[IRKernel]:
+        return self._kernel_ref()
 
     def _reg(self, reg: Reg) -> int:
         idx = self._reg_index.get(reg)
@@ -212,6 +218,43 @@ class KernelPlan:
             p.cost = self.device.issue_cost[
                 cost_class(instr.op, instr.dtype, instr.cmp)]
         return p
+
+
+#: Process-wide plan cache: (id(kernel_ir), device.name) -> KernelPlan.
+#: Entries are evicted by a weakref finalizer when the kernel IR dies,
+#: so a recycled id() can never alias a stale plan.
+_PLAN_CACHE: Dict[Tuple[int, str], KernelPlan] = {}
+_PLAN_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def plan_for(kernel: IRKernel, device: DeviceSpec) -> KernelPlan:
+    """A (cached) :class:`KernelPlan` for *kernel* on *device*.
+
+    Sweeps launch the same kernel thousands of times; planning is pure
+    per ``(kernel identity, device)``, so it is paid once here.
+    """
+    key = (id(kernel), device.name)
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None and plan.kernel is kernel:
+        _PLAN_CACHE_STATS["hits"] += 1
+        return plan
+    _PLAN_CACHE_STATS["misses"] += 1
+    plan = KernelPlan(kernel, device)
+    _PLAN_CACHE[key] = plan
+    weakref.finalize(kernel, _PLAN_CACHE.pop, key, None)
+    return plan
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters plus the current cache size."""
+    return dict(_PLAN_CACHE_STATS, size=len(_PLAN_CACHE))
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans and reset the counters (for tests)."""
+    _PLAN_CACHE.clear()
+    _PLAN_CACHE_STATS["hits"] = 0
+    _PLAN_CACHE_STATS["misses"] = 0
 
 
 _CMP_FN = {"eq": np.equal, "ne": np.not_equal, "lt": np.less,

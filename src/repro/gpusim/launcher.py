@@ -21,8 +21,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
-from repro.gpusim.executor import (BlockExecutor, BlockStats, KernelPlan,
-                                   SimError, TextureBinding)
+from repro.gpusim.engine import resolve_engine, run_blocks_batched
+from repro.gpusim.executor import (BlockExecutor, BlockStats, SimError,
+                                   TextureBinding, plan_for)
 from repro.gpusim.memory import FlatMemory, GlobalMemory
 from repro.gpusim.occupancy import Occupancy, occupancy
 from repro.gpusim.timing import Timing, kernel_timing
@@ -159,7 +160,8 @@ class GPU:
                args: Sequence[object],
                dynamic_smem: int = 0,
                functional: bool = True,
-               sample_blocks: int = 8) -> LaunchResult:
+               sample_blocks: int = 8,
+               engine: Optional[str] = None) -> LaunchResult:
         """Launch *kernel* over *grid* × *block*.
 
         Args:
@@ -174,11 +176,17 @@ class GPU:
                 across the grid run, and timing is extrapolated.
             sample_blocks: number of blocks to execute when not
                 functional.
+            engine: ``"batched"`` gangs blocks through the wide
+                interpreter (the default), ``"serial"`` runs one
+                :class:`BlockExecutor` per block (the oracle), ``None``
+                / ``"auto"`` uses :func:`repro.gpusim.default_engine`.
+                Both produce bit-identical memory, stats and timing.
 
         Raises:
             SimError / OccupancyError: invalid configuration or a
                 runtime fault in the kernel.
         """
+        engine = resolve_engine(engine)
         grid3 = _as_dim3(grid)
         block3 = _as_dim3(block)
         params = kernel.ir.params
@@ -193,7 +201,7 @@ class GPU:
         occ = occupancy(self.spec, block3[0] * block3[1] * block3[2],
                         kernel.reg_count, smem_per_block)
         cmem = self._const_mem(kernel.module)
-        plan = KernelPlan(kernel.ir, self.spec)
+        plan = plan_for(kernel.ir, self.spec)
         total_blocks = grid3[0] * grid3[1] * grid3[2]
         if total_blocks == 0:
             raise SimError("empty grid")
@@ -202,14 +210,21 @@ class GPU:
         textures = {name: binding
                     for (mod_id, name), binding in self._textures.items()
                     if mod_id == id(kernel.module)}
-        stats: List[BlockStats] = []
-        for bidx in indices:
-            executor = BlockExecutor(
+        if engine == "batched" and len(indices) > 1:
+            stats = run_blocks_batched(
                 kernel.ir, self.spec, self.gmem, cmem, arg_map,
-                block_idx=bidx, block_dim=block3, grid_dim=grid3,
+                indices, block_dim=block3, grid_dim=grid3,
                 dynamic_smem=dynamic_smem, plan=plan,
                 textures=textures)
-            stats.append(executor.run())
+        else:
+            stats = []
+            for bidx in indices:
+                executor = BlockExecutor(
+                    kernel.ir, self.spec, self.gmem, cmem, arg_map,
+                    block_idx=bidx, block_dim=block3, grid_dim=grid3,
+                    dynamic_smem=dynamic_smem, plan=plan,
+                    textures=textures)
+                stats.append(executor.run())
         timing = kernel_timing(self.spec, occ, total_blocks, stats)
         return LaunchResult(timing=timing, occupancy=occ, grid=grid3,
                             block=block3, blocks_executed=len(indices),

@@ -28,7 +28,9 @@ def piv_sweep(problem: PIVProblem, device: DeviceSpec,
               rb_values: Iterable[int], thread_values: Iterable[int],
               variant: str = "tree", specialize: bool = True,
               sample_blocks: int = 2,
-              cache: Optional[KernelCache] = None) -> List[SweepRecord]:
+              cache: Optional[KernelCache] = None,
+              jobs: int = 1,
+              engine: Optional[str] = None) -> List[SweepRecord]:
     """Sweep (rb, threads) for one PIV problem on one device."""
     cache = cache or _SHARED_CACHE
 
@@ -36,14 +38,14 @@ def piv_sweep(problem: PIVProblem, device: DeviceSpec,
         cfg = PIVConfig(variant=variant, rb=config["rb"],
                         threads=config["threads"],
                         specialize=specialize, functional=False,
-                        sample_blocks=sample_blocks)
+                        sample_blocks=sample_blocks, engine=engine)
         proc = PIVProcessor(problem, cfg, device=device, cache=cache)
         result = proc.run(img_a, img_b)
         return SweepRecord(config=config, seconds=result.kernel_seconds,
                            reg_count=result.reg_count,
                            occupancy=result.occupancy)
 
-    sweeper = Sweeper(run)
+    sweeper = Sweeper(run, jobs=jobs)
     return sweeper.sweep(grid_configs(rb=list(rb_values),
                                       threads=list(thread_values)))
 
@@ -52,7 +54,9 @@ def tm_sweep(problem: MatchProblem, template: np.ndarray,
              frame: np.ndarray, tile_sizes, thread_values,
              device: DeviceSpec, specialize: bool = True,
              sample_blocks: int = 2,
-             cache: Optional[KernelCache] = None) -> List[SweepRecord]:
+             cache: Optional[KernelCache] = None,
+             jobs: int = 1,
+             engine: Optional[str] = None) -> List[SweepRecord]:
     """Sweep (tile, threads) for one template-matching problem."""
     cache = cache or _SHARED_CACHE
 
@@ -61,7 +65,7 @@ def tm_sweep(problem: MatchProblem, template: np.ndarray,
         cfg = MatchConfig(tile_w=tw, tile_h=th,
                           threads=config["threads"],
                           specialize=specialize, functional=False,
-                          sample_blocks=sample_blocks)
+                          sample_blocks=sample_blocks, engine=engine)
         matcher = TemplateMatcher(problem, template, cfg, device=device,
                                   cache=cache)
         result = matcher.match(frame)
@@ -69,7 +73,7 @@ def tm_sweep(problem: MatchProblem, template: np.ndarray,
                            seconds=result.kernel_seconds,
                            reg_count=matcher.numerator_reg_count())
 
-    sweeper = Sweeper(run)
+    sweeper = Sweeper(run, jobs=jobs)
     return sweeper.sweep(grid_configs(tile=list(tile_sizes),
                                       threads=list(thread_values)))
 
@@ -77,7 +81,9 @@ def tm_sweep(problem: MatchProblem, template: np.ndarray,
 def bp_sweep(problem: BPProblem, projections: np.ndarray,
              block_shapes, zb_values, device: DeviceSpec,
              specialize: bool = True, sample_blocks: int = 2,
-             cache: Optional[KernelCache] = None) -> List[SweepRecord]:
+             cache: Optional[KernelCache] = None,
+             jobs: int = 1,
+             engine: Optional[str] = None) -> List[SweepRecord]:
     """Sweep (block shape, zb) for a backprojection problem."""
     cache = cache or _SHARED_CACHE
 
@@ -85,13 +91,13 @@ def bp_sweep(problem: BPProblem, projections: np.ndarray,
         bx, by = config["block"]
         cfg = BPConfig(block_x=bx, block_y=by, zb=config["zb"],
                        specialize=specialize, functional=False,
-                       sample_blocks=sample_blocks)
+                       sample_blocks=sample_blocks, engine=engine)
         bp = Backprojector(problem, cfg, device=device, cache=cache)
         result = bp.run(projections)
         return SweepRecord(config=config, seconds=result.kernel_seconds,
                            reg_count=result.reg_count,
                            occupancy=result.occupancy)
 
-    sweeper = Sweeper(run)
+    sweeper = Sweeper(run, jobs=jobs)
     return sweeper.sweep(grid_configs(block=list(block_shapes),
                                       zb=list(zb_values)))

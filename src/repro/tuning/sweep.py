@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -31,29 +32,50 @@ class Sweeper:
     tables can show the holes.
     """
 
-    def __init__(self, run: Callable[[dict], SweepRecord]):
+    def __init__(self, run: Callable[[dict], SweepRecord],
+                 jobs: int = 1):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.run = run
+        self.jobs = jobs
         self.records: List[SweepRecord] = []
 
+    def _eval(self, config: dict) -> SweepRecord:
+        try:
+            return self.run(dict(config))
+        except Exception as exc:  # occupancy/compile failures
+            return SweepRecord(config=dict(config),
+                               seconds=float("inf"), valid=False,
+                               error=f"{type(exc).__name__}: {exc}")
+
     def sweep(self, configs: Iterable[dict]) -> List[SweepRecord]:
-        for config in configs:
-            try:
-                record = self.run(dict(config))
-            except Exception as exc:  # occupancy/compile failures
-                record = SweepRecord(config=dict(config),
-                                     seconds=float("inf"), valid=False,
-                                     error=f"{type(exc).__name__}: {exc}")
-            self.records.append(record)
+        configs = list(configs)
+        if self.jobs == 1 or len(configs) <= 1:
+            for config in configs:
+                self.records.append(self._eval(config))
+            return self.records
+        # Worker threads each evaluate whole configurations; the run
+        # function builds its own GPU context per call, so workers
+        # never share simulator state.  ``map`` keeps result order ==
+        # config order, so records are deterministic regardless of
+        # which worker finishes first.
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            self.records.extend(pool.map(self._eval, configs))
         return self.records
 
 
 def best_record(records: List[SweepRecord]) -> SweepRecord:
-    """The fastest valid record."""
+    """The fastest valid record (ties broken by config key).
+
+    The explicit tie-break makes sweep optima — and every table built
+    from them — reproducible no matter how the records were ordered or
+    which worker produced them first.
+    """
     valid = [r for r in records if r.valid]
     if not valid:
         raise ValueError("no configuration in the sweep could run: "
                          + "; ".join(r.error for r in records[:3]))
-    return min(valid, key=lambda r: r.seconds)
+    return min(valid, key=lambda r: (r.seconds, r.key()))
 
 
 def grid_configs(**axes) -> List[dict]:

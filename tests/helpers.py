@@ -31,7 +31,9 @@ class KernelHarness:
         self.gpu = GPU(spec)
 
     def __call__(self, grid, block, *args, dynamic_smem: int = 0,
-                 const: Optional[Dict[str, np.ndarray]] = None):
+                 const: Optional[Dict[str, np.ndarray]] = None,
+                 functional: bool = True, sample_blocks: int = 8,
+                 engine: Optional[str] = None):
         """Run the kernel; returns (outputs, launch_result).
 
         ``args`` entries that are ndarrays are treated as in/out
@@ -50,7 +52,10 @@ class KernelHarness:
             else:
                 dev_args.append(a)
         result = self.gpu.launch(self.kernel, grid, block, dev_args,
-                                 dynamic_smem=dynamic_smem)
+                                 dynamic_smem=dynamic_smem,
+                                 functional=functional,
+                                 sample_blocks=sample_blocks,
+                                 engine=engine)
         outputs = [self.gpu.memcpy_dtoh(addr, arr.dtype, arr.size)
                    .reshape(arr.shape)
                    for addr, arr in buffers]

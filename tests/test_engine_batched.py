@@ -1,0 +1,363 @@
+"""Batched engine ≡ serial oracle, plan cache, and parallel sweeps.
+
+The batched engine's contract is bit-exactness: for any launch, device
+memory, every per-warp counter, and the derived Timing must equal the
+serial path's.  These tests drive both engines over kernels chosen to
+hit each mechanism that could break lockstep execution: intra-warp
+divergence, block-dependent control flow (gang splits), barriers,
+shared/constant/texture/local memory, atomics, and sampled launches.
+"""
+
+import gc
+import pickle
+
+import numpy as np
+import pytest
+
+from tests.helpers import KernelHarness
+from repro.gpupf.cache import KernelCache
+from repro.gpusim import (GPU, TESLA_C1060, TESLA_C2070,
+                          clear_plan_cache, plan_cache_stats, plan_for)
+from repro.kernelc import nvcc
+from repro.tuning.sweep import SweepRecord, Sweeper, best_record
+
+
+def assert_same_launch(src, grid, block, *arrays, scalars=(),
+                       arch="sm_20", functional=True, sample_blocks=8,
+                       const=None, defines=None):
+    """Run serial and batched with identical inputs; demand equality."""
+    results = {}
+    for engine in ("serial", "batched"):
+        h = KernelHarness(src, arch=arch, defines=defines)
+        args = [a.copy() for a in arrays] + list(scalars)
+        outputs, res = h(grid, block, *args, functional=functional,
+                         sample_blocks=sample_blocks, const=const,
+                         engine=engine)
+        results[engine] = (outputs, res)
+    (out_s, res_s), (out_b, res_b) = results["serial"], results["batched"]
+    for a, b in zip(out_s, out_b):
+        assert a.tobytes() == b.tobytes()
+    assert res_s.blocks_executed == res_b.blocks_executed
+    assert len(res_s.stats) == len(res_b.stats)
+    for bs, bb in zip(res_s.stats, res_b.stats):
+        assert bs.warps == bb.warps
+    assert res_s.timing == res_b.timing
+    return results
+
+
+DIVERGENT_SRC = """
+__global__ void k(float* out, const float* in, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    float v = in[gid];
+    float acc = 0.0f;
+    for (int i = 0; i < gid % 11; ++i)   // data-dependent trip count
+        acc += v * i;
+    if (gid % 3 == 0) acc = -acc;        // divergent branch
+    else if (gid % 3 == 1) acc += 1.0f;
+    out[gid] = acc;
+}
+"""
+
+BARRIER_SRC = """
+__global__ void k(float* out, const float* in, int n) {
+    __shared__ float buf[64];
+    int tid = threadIdx.x;
+    int gid = blockIdx.x * blockDim.x + tid;
+    buf[tid] = (gid < n) ? in[gid] : 0.0f;
+    __syncthreads();
+    float acc = 0.0f;
+    for (int i = 0; i <= tid % 5; ++i)
+        acc += buf[(tid + i) % blockDim.x];
+    __syncthreads();
+    buf[tid] = acc;
+    __syncthreads();
+    if (gid < n) out[gid] = buf[blockDim.x - 1 - tid];
+}
+"""
+
+BLOCK_DIVERGENT_SRC = """
+__global__ void k(float* out, const float* in, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    float v = in[gid];
+    // Uniform within a block, different across blocks: forces the
+    // gang to split into per-branch fragments.
+    if (blockIdx.x % 3 == 0) {
+        for (int i = 0; i < (int)blockIdx.x % 7; ++i)
+            v += 0.5f;                   // per-block trip counts
+    } else if (blockIdx.x % 3 == 1) {
+        v *= 2.0f;
+    } else {
+        v = -v;
+    }
+    out[gid] = v;
+}
+"""
+
+EXIT_SRC = """
+__global__ void k(int* out, const int* in, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    int v = in[gid];
+    if (v < 0) { out[gid] = -1; return; }  // exit under divergence
+    int acc = 0;
+    for (int i = 0; i < v % 6; ++i) acc += i * v;
+    out[gid] = acc;
+}
+"""
+
+ATOMIC_SRC = """
+__global__ void k(int* hist, const int* in, int n, int bins) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) atomicAdd(&hist[in[gid] % bins], 1);
+}
+"""
+
+CONST_SRC = """
+__constant__ float coeff[16];
+__global__ void k(float* out, const float* in, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) out[gid] = in[gid] * coeff[gid % 16] + coeff[0];
+}
+"""
+
+TEX_SRC = """
+texture<float, 2> imgTex;
+__global__ void k(float* out, const float* xs, const float* ys, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) out[gid] = tex2D(imgTex, xs[gid], ys[gid]);
+}
+"""
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_divergent_branches_match(seed):
+    rng = np.random.default_rng(seed)
+    n = 500
+    inp = rng.standard_normal(n).astype(np.float32)
+    out = np.zeros(n, np.float32)
+    assert_same_launch(DIVERGENT_SRC, (7,), (96,), out, inp,
+                       scalars=(n,))
+
+
+@pytest.mark.parametrize("block", [(64,), (48,)])
+def test_barrier_and_shared_match(block):
+    # 48 threads: multi-warp block with a partial second warp.
+    rng = np.random.default_rng(3)
+    n = 6 * block[0]
+    inp = rng.standard_normal(n).astype(np.float32)
+    out = np.zeros(n, np.float32)
+    assert_same_launch(BARRIER_SRC, (6,), block, out, inp, scalars=(n,))
+
+
+def test_block_divergent_control_flow_match():
+    # Every block takes its own path: the gang must split and still
+    # reproduce serial stats per block.
+    rng = np.random.default_rng(4)
+    n = 9 * 64
+    inp = rng.standard_normal(n).astype(np.float32)
+    out = np.zeros(n, np.float32)
+    assert_same_launch(BLOCK_DIVERGENT_SRC, (9,), (64,), out, inp,
+                       scalars=(n,))
+
+
+def test_exit_under_divergence_match():
+    rng = np.random.default_rng(5)
+    n = 300
+    inp = rng.integers(-10, 10, n).astype(np.int32)
+    out = np.zeros(n, np.int32)
+    assert_same_launch(EXIT_SRC, (5,), (64,), out, inp, scalars=(n,))
+
+
+def test_global_atomics_match():
+    rng = np.random.default_rng(6)
+    n = 400
+    inp = rng.integers(0, 1000, n).astype(np.int32)
+    hist = np.zeros(16, np.int32)
+    assert_same_launch(ATOMIC_SRC, (4,), (128,), hist, inp,
+                       scalars=(n, 16))
+
+
+def test_constant_memory_match():
+    rng = np.random.default_rng(7)
+    n = 320
+    inp = rng.standard_normal(n).astype(np.float32)
+    out = np.zeros(n, np.float32)
+    coeff = rng.standard_normal(16).astype(np.float32)
+    assert_same_launch(CONST_SRC, (5,), (64,), out, inp, scalars=(n,),
+                       const={"coeff": coeff})
+
+
+@pytest.mark.parametrize("filter", ["point", "linear"])
+def test_texture_match(filter):
+    rng = np.random.default_rng(8)
+    img = rng.standard_normal((16, 16)).astype(np.float32)
+    n = 256
+    xs = rng.uniform(-2, 18, n).astype(np.float32)
+    ys = rng.uniform(-2, 18, n).astype(np.float32)
+    results = {}
+    for engine in ("serial", "batched"):
+        mod = nvcc(TEX_SRC, arch="sm_20")
+        gpu = GPU(TESLA_C2070)
+        d_img = gpu.alloc_array(img)
+        gpu.bind_texture(mod, "imgTex", d_img, width=16, height=16,
+                         filter=filter)
+        d_xs = gpu.alloc_array(xs)
+        d_ys = gpu.alloc_array(ys)
+        d_out = gpu.zeros(n, np.float32)
+        res = gpu.launch(mod.kernel("k"), (4,), (64,),
+                         [d_out, d_xs, d_ys, n], engine=engine)
+        results[engine] = (gpu.memcpy_dtoh(d_out, np.float32, n), res)
+    out_s, res_s = results["serial"]
+    out_b, res_b = results["batched"]
+    assert out_s.tobytes() == out_b.tobytes()
+    for bs, bb in zip(res_s.stats, res_b.stats):
+        assert bs.warps == bb.warps
+    assert res_s.timing == res_b.timing
+
+
+def test_sampled_launch_match():
+    # functional=False: only sampled blocks run; both engines must pick
+    # and execute the same blocks with the same stats.
+    rng = np.random.default_rng(9)
+    n = 64 * 64
+    inp = rng.standard_normal(n).astype(np.float32)
+    out = np.zeros(n, np.float32)
+    results = assert_same_launch(DIVERGENT_SRC, (64,), (64,), out, inp,
+                                 scalars=(n,), functional=False,
+                                 sample_blocks=6)
+    assert results["batched"][1].blocks_executed == 6
+
+
+def test_cc13_half_warp_rules_match():
+    # CC 1.3 coalescing/bank rules take per-half-warp paths.
+    rng = np.random.default_rng(10)
+    n = 6 * 64
+    inp = rng.standard_normal(n).astype(np.float32)
+    out = np.zeros(n, np.float32)
+    assert_same_launch(BARRIER_SRC, (6,), (64,), out, inp, scalars=(n,),
+                       arch="sm_13")
+
+
+def test_2d_grid_and_block_match():
+    rng = np.random.default_rng(11)
+    src = """
+    __global__ void k(float* out, const float* in, int w, int h) {
+        int x = blockIdx.x * blockDim.x + threadIdx.x;
+        int y = blockIdx.y * blockDim.y + threadIdx.y;
+        if (x < w && y < h) {
+            float v = in[y * w + x];
+            if ((x + y) % 2 == 0) v *= 3.0f;
+            out[y * w + x] = v + blockIdx.y;
+        }
+    }
+    """
+    w, h = 40, 24
+    inp = rng.standard_normal(w * h).astype(np.float32)
+    out = np.zeros(w * h, np.float32)
+    assert_same_launch(src, (3, 3), (16, 8), out, inp, scalars=(w, h))
+
+
+# -- plan cache --------------------------------------------------------
+
+
+def test_plan_cache_hits_and_eviction():
+    clear_plan_cache()
+    mod = nvcc(DIVERGENT_SRC, arch="sm_20")
+    ir = mod.kernel("k").ir
+    p1 = plan_for(ir, TESLA_C2070)
+    p2 = plan_for(ir, TESLA_C2070)
+    assert p1 is p2
+    assert plan_for(ir, TESLA_C1060) is not p1  # per-device plans
+    stats = plan_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 2
+    assert stats["size"] == 2
+    del p1, p2, ir, mod
+    gc.collect()
+    assert plan_cache_stats()["size"] == 0  # weakly held
+    clear_plan_cache()
+
+
+def test_launch_reuses_plan():
+    clear_plan_cache()
+    h = KernelHarness(DIVERGENT_SRC)
+    n = 128
+    inp = np.ones(n, np.float32)
+    out = np.zeros(n, np.float32)
+    for _ in range(3):
+        h((2,), (64,), out, inp, n)
+    stats = plan_cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 2
+    clear_plan_cache()
+
+
+# -- tuning: parallel sweeps and deterministic optima ------------------
+
+
+def _sweep_run(config):
+    h = KernelHarness(DIVERGENT_SRC)
+    n = 64 * config["blocks"]
+    inp = np.linspace(-1, 1, n).astype(np.float32)
+    out = np.zeros(n, np.float32)
+    _, res = h((config["blocks"],), (64,), out, inp, n)
+    return SweepRecord(config=config, seconds=res.seconds)
+
+
+def test_sweeper_jobs_deterministic():
+    configs = [{"blocks": b} for b in (1, 2, 3, 4, 5, 6)]
+    serial_records = Sweeper(_sweep_run).sweep(configs)
+    for _ in range(2):
+        records = Sweeper(_sweep_run, jobs=2).sweep(configs)
+        assert [r.config for r in records] == \
+            [r.config for r in serial_records]
+        assert [r.seconds for r in records] == \
+            [r.seconds for r in serial_records]
+
+
+def test_sweeper_jobs_captures_failures():
+    def run(config):
+        if config["n"] == 2:
+            raise RuntimeError("boom")
+        return SweepRecord(config=config, seconds=float(config["n"]))
+
+    records = Sweeper(run, jobs=3).sweep([{"n": i} for i in range(4)])
+    assert [r.valid for r in records] == [True, True, False, True]
+    assert "boom" in records[2].error
+
+
+def test_best_record_tie_break_deterministic():
+    records = [SweepRecord(config={"x": x}, seconds=1.0)
+               for x in (3, 1, 2)]
+    assert best_record(records).config == {"x": 1}
+    assert best_record(list(reversed(records))).config == {"x": 1}
+
+
+# -- disk cache format guard -------------------------------------------
+
+
+def test_disk_cache_version_guard(tmp_path):
+    cache = KernelCache(disk_dir=str(tmp_path))
+    mod = cache.compile(DIVERGENT_SRC)
+    assert cache.misses == 1
+    entries = list(tmp_path.glob("*.mod"))
+    assert len(entries) == 1
+    with open(entries[0], "rb") as fh:
+        version, payload = pickle.load(fh)
+    assert isinstance(version, int)
+
+    # A fresh cache loads the entry from disk without recompiling.
+    cache2 = KernelCache(disk_dir=str(tmp_path))
+    cache2.compile(DIVERGENT_SRC)
+    assert cache2.hits == 1 and cache2.misses == 0
+
+    # A stale-format entry (legacy layout: bare module pickle) is
+    # ignored and recompiled in place.
+    with open(entries[0], "wb") as fh:
+        pickle.dump(payload, fh)
+    cache3 = KernelCache(disk_dir=str(tmp_path))
+    cache3.compile(DIVERGENT_SRC)
+    assert cache3.misses == 1
+    with open(entries[0], "rb") as fh:
+        version2, _ = pickle.load(fh)
+    assert version2 == version  # rewritten in the current format
