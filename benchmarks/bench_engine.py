@@ -26,6 +26,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 import pytest
 
+import numpy as np
+
 from benchmarks.common import piv_images, timed, tm_frames, \
     write_bench_json
 from repro.apps.piv.host import PIVConfig, PIVProcessor
@@ -33,15 +35,17 @@ from repro.apps.piv.problems import MASK_SET
 from repro.apps.template_matching.host import MatchConfig, \
     TemplateMatcher
 from repro.apps.template_matching.problems import PATIENTS, PATIENTS_FULL
-from repro.gpusim import TESLA_C2070
+from repro.gpusim import GPU, TESLA_C1060, TESLA_C2070
 from repro.gpusim.engine import DEFAULT_BATCH_BLOCKS
+from repro.kernelc import nvcc
 
 #: Required wall-clock advantage of the batched engine on the sweep
 #: workloads (the tentpole's acceptance bar).
 SPEEDUP_FLOOR = 3.0
 
 
-def _piv_case(problem, rb: int, threads: int) -> dict:
+def _piv_case(problem, rb: int, threads: int,
+              device=TESLA_C2070) -> dict:
     """One Table 6.22 PIV configuration under both engines."""
     img_a, img_b = piv_images(problem)
 
@@ -49,15 +53,16 @@ def _piv_case(problem, rb: int, threads: int) -> dict:
     # and a long-running host would reuse it from the kernel cache.
     procs = {engine: PIVProcessor(
         problem, PIVConfig(rb=rb, threads=threads, engine=engine),
-        TESLA_C2070) for engine in ("batched", "serial")}
+        device) for engine in ("batched", "serial")}
     wall_b, res_b = timed(procs["batched"].run, img_a, img_b)
     wall_s, res_s = timed(procs["serial"].run, img_a, img_b)
+    suffix = "" if device is TESLA_C2070 else "-c1060"
     return {
-        "name": f"piv-{problem.name}-rb{rb}-t{threads}",
+        "name": f"piv-{problem.name}-rb{rb}-t{threads}{suffix}",
         "workload": "Table 6.22 (PIV mask-size sets)",
         "problem": problem.name,
         "config": {"rb": rb, "threads": threads},
-        "device": TESLA_C2070.name,
+        "device": device.name,
         "blocks": len(problem.window_origins()[0]),
         "wall_serial_s": wall_s,
         "wall_batched_s": wall_b,
@@ -97,11 +102,75 @@ def _tm_case(problem, tile, threads: int) -> dict:
     }
 
 
+ATOMIC_SRC = """
+__global__ void hist(float* facc, int* ihist, const float* in,
+                     const int* bin, int n, int bins) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) {
+        int b = bin[gid] % bins;
+        atomicAdd(&ihist[b], 1);
+        atomicAdd(&facc[b], in[gid]);
+    }
+}
+"""
+
+
+def _atomic_case(device, blocks: int = 2048, bins: int = 64) -> dict:
+    """Atomic-heavy histogram: every lane contends on a few addresses.
+
+    Single-warp blocks keep float-atomic ordering identical between the
+    engines (the documented bit-exactness domain), so this measures the
+    vectorized ordered-atomic path under maximal contention.
+    """
+    n = blocks * 32
+    rng = np.random.default_rng(42)
+    vals = rng.standard_normal(n).astype(np.float32)
+    bin_of = rng.integers(0, bins, n).astype(np.int32)
+    mod = nvcc(ATOMIC_SRC, arch=device.arch)
+    results = {}
+    for engine in ("batched", "serial"):
+        gpu = GPU(device)
+        d_facc = gpu.zeros(bins, np.float32)
+        d_ihist = gpu.zeros(bins, np.int32)
+        d_in = gpu.alloc_array(vals)
+        d_bin = gpu.alloc_array(bin_of)
+        wall, res = timed(gpu.launch, mod.kernel("hist"), (blocks,),
+                          (32,), [d_facc, d_ihist, d_in, d_bin, n,
+                                  bins], engine=engine)
+        results[engine] = (
+            wall, res, gpu.memcpy_dtoh(d_facc, np.float32, bins),
+            gpu.memcpy_dtoh(d_ihist, np.int32, bins))
+    wall_b, res_b, facc_b, ihist_b = results["batched"]
+    wall_s, res_s, facc_s, ihist_s = results["serial"]
+    suffix = "" if device is TESLA_C2070 else "-c1060"
+    return {
+        "name": f"atomic-hist-{blocks}b{suffix}",
+        "workload": "atomic-heavy histogram (ordered float atomics)",
+        "problem": f"{n} atomicAdds into {bins} bins",
+        "config": {"blocks": blocks, "threads": 32, "bins": bins},
+        "device": device.name,
+        "blocks": blocks,
+        "wall_serial_s": wall_s,
+        "wall_batched_s": wall_b,
+        "speedup": wall_s / wall_b,
+        "sim_kernel_seconds": res_s.seconds,
+        "sim_identical": res_s.seconds == res_b.seconds,
+        "outputs_identical":
+            facc_s.tobytes() == facc_b.tobytes()
+            and ihist_s.tobytes() == ihist_b.tobytes(),
+    }
+
+
 def run_engine_bench() -> dict:
     """All cases + aggregate; writes ``BENCH_engine.json``."""
     cases = [
         _piv_case(MASK_SET[0], rb=4, threads=64),
         _tm_case(PATIENTS_FULL[0], tile=(16, 8), threads=128),
+        # PR 2: the vectorized CC 1.x path — the Tesla C1060 sweep
+        # workload the dissertation's headline comparisons run through.
+        _piv_case(MASK_SET[0], rb=4, threads=64, device=TESLA_C1060),
+        _atomic_case(TESLA_C2070),
+        _atomic_case(TESLA_C1060),
     ]
     total_s = sum(c["wall_serial_s"] for c in cases)
     total_b = sum(c["wall_batched_s"] for c in cases)

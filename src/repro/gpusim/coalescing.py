@@ -54,6 +54,54 @@ def global_transactions(addrs: np.ndarray, mask: np.ndarray,
     return total
 
 
+_SENTINEL = np.iinfo(np.int64).max
+
+
+def _row_distinct(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Distinct masked values per row of a 2D array (sort + compare)."""
+    v = np.where(mask, values, _SENTINEL)
+    v.sort(axis=1)
+    uniq = np.ones(v.shape, bool)
+    uniq[:, 1:] = v[:, 1:] != v[:, :-1]
+    uniq &= v != _SENTINEL
+    return uniq.sum(axis=1).astype(np.int64)
+
+
+def global_transactions_batch(addrs: np.ndarray, mask: np.ndarray,
+                              itemsize: int,
+                              device: DeviceSpec) -> np.ndarray:
+    """Per-member DRAM transactions for a gang of warp accesses.
+
+    The batched-engine form of :func:`global_transactions`: *addrs*
+    and *mask* are ``(M, 32)`` arrays (one row per gang member), and
+    the result is the ``(M,)`` vector of transaction counts the scalar
+    oracle would return row by row.  Both compute-capability rules are
+    evaluated with row-wise sorts — no Python loop over members.
+    """
+    a = addrs.astype(np.int64)
+    if device.compute_capability[0] >= 2:
+        # CC 2.x: distinct 128-byte cache lines per full warp.
+        lines = a // 128
+        if itemsize > 1:
+            lines = np.concatenate([lines, (a + itemsize - 1) // 128],
+                                   axis=1)
+            mask = np.concatenate([mask, mask], axis=1)
+        return _row_distinct(lines, mask)
+    # CC 1.x: per half-warp, one transaction per distinct aligned
+    # segment (32 B for 1-byte, 64 B for 2-byte, 128 B otherwise).
+    segment = {1: 32, 2: 64}.get(itemsize, 128)
+    total = np.zeros(len(a), np.int64)
+    for half in (slice(0, 16), slice(16, 32)):
+        segs = a[:, half] // segment
+        m = mask[:, half]
+        if itemsize > 1:
+            segs = np.concatenate(
+                [segs, (a[:, half] + itemsize - 1) // segment], axis=1)
+            m = np.concatenate([m, m], axis=1)
+        total += _row_distinct(segs, m)
+    return total
+
+
 def shared_conflict_factor(addrs: np.ndarray, mask: np.ndarray,
                            itemsize: int, device: DeviceSpec) -> int:
     """Replay factor for one warp-wide shared-memory access (≥ 1).

@@ -118,6 +118,174 @@ def run_blocks_batched(kernel: IRKernel, device: DeviceSpec,
     return stats
 
 
+class _GangProto:
+    """Launch-shape state shared by every gang of a kernel launch.
+
+    Everything a :class:`_GangWarp` needs that depends only on
+    ``(block_dim, grid_dim)`` — the per-warp-position special-register
+    lane arrays (all but ``ctaid.*``, which are member data) and each
+    warp position's partial-block row mask.  Prototypes are cached on
+    the :class:`~repro.gpusim.executor.KernelPlan`, so repeated
+    launches of one kernel — a sweep's sampled launches in particular
+    — reuse the gang fragments' lane layout instead of rebuilding it
+    per launch.
+    """
+
+    __slots__ = ("nthreads", "nwarps", "warps")
+
+    def __init__(self, device: DeviceSpec, block_dim, grid_dim):
+        bx, by, bz = block_dim
+        self.nthreads = bx * by * bz
+        if self.nthreads > device.max_threads_per_block:
+            raise SimError(
+                f"block of {self.nthreads} threads exceeds device limit "
+                f"{device.max_threads_per_block}")
+        self.nwarps = (self.nthreads + WARP - 1) // WARP
+        gx, gy, gz = grid_dim
+        self.warps = []
+        for wid in range(self.nwarps):
+            tids = (wid * WARP
+                    + np.arange(WARP, dtype=np.uint32)).astype(np.uint32)
+            row_mask = tids < self.nthreads
+            safe = np.where(row_mask, tids, 0)
+            specials = {
+                "tid.x": (safe % bx).astype(np.uint32),
+                "tid.y": ((safe // bx) % by).astype(np.uint32),
+                "tid.z": (safe // (bx * by)).astype(np.uint32),
+                "ntid.x": np.full(WARP, bx, np.uint32),
+                "ntid.y": np.full(WARP, by, np.uint32),
+                "ntid.z": np.full(WARP, bz, np.uint32),
+                "nctaid.x": np.full(WARP, gx, np.uint32),
+                "nctaid.y": np.full(WARP, gy, np.uint32),
+                "nctaid.z": np.full(WARP, gz, np.uint32),
+            }
+            for arr in specials.values():
+                arr.flags.writeable = False
+            row_mask.flags.writeable = False
+            self.warps.append((specials, row_mask))
+
+
+_GANG_STATS = {"hits": 0, "misses": 0}
+
+
+def _gang_proto(plan: KernelPlan, device: DeviceSpec, block_dim,
+                grid_dim) -> _GangProto:
+    key = (block_dim, grid_dim)
+    proto = plan.gang_protos.get(key)
+    if proto is None:
+        _GANG_STATS["misses"] += 1
+        proto = _GangProto(device, block_dim, grid_dim)
+        plan.gang_protos[key] = proto
+    else:
+        _GANG_STATS["hits"] += 1
+    return proto
+
+
+def gang_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters for the gang-prototype cache.
+
+    Prototypes live on cached :class:`KernelPlan` objects, so
+    :func:`repro.gpusim.clear_plan_cache` evicts them too.
+    """
+    return dict(_GANG_STATS)
+
+
+def _segmented_prefix(values: np.ndarray, starts: np.ndarray,
+                      lengths: np.ndarray,
+                      init: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Sequential prefix chains ``[init, after 1 add, ...]`` per segment.
+
+    Returns ``(prefix, offsets)``: segment ``g``'s chain occupies
+    ``prefix[offsets[g] : offsets[g] + lengths[g] + 1]``.  Chains fold
+    strictly left to right (``np.add.accumulate``), so float rounding
+    matches a one-value-at-a-time serial loop bit for bit.  Segments
+    are bucketed by power-of-two chain length and accumulated as
+    zero-padded rows — padding sits past each chain's end and never
+    feeds a result, and total transient memory stays within ~2x the
+    event count regardless of how skewed the segment sizes are.
+    """
+    out_len = lengths + 1
+    offsets = np.zeros(starts.size, np.int64)
+    np.cumsum(out_len[:-1], dtype=np.int64, out=offsets[1:])
+    prefix = np.empty(int(out_len.sum()), values.dtype)
+    maxlen = int(out_len.max())
+    lower, upper = 0, 1
+    while lower < maxlen:
+        pick = (out_len > lower) & (out_len <= upper)
+        lower, upper = upper, upper * 2
+        if not pick.any():
+            continue
+        cols = lower
+        seg_starts = starts[pick]
+        seg_lens = lengths[pick]
+        buf = np.zeros((seg_starts.size, cols), values.dtype)
+        buf[:, 0] = init[pick]
+        if cols > 1:
+            ar = np.arange(cols - 1, dtype=np.int64)
+            gather = ar[None, :] < seg_lens[:, None]
+            buf[:, 1:][gather] = values[
+                (seg_starts[:, None] + ar[None, :])[gather]]
+        np.add.accumulate(buf, axis=1, out=buf)
+        ar = np.arange(cols, dtype=np.int64)
+        scatter = ar[None, :] < out_len[pick][:, None]
+        prefix[(offsets[pick][:, None] + ar[None, :])[scatter]] = \
+            buf[scatter]
+    return prefix, offsets
+
+
+def _ordered_atomic_add(view: np.ndarray, idx: np.ndarray,
+                        mask: np.ndarray,
+                        value: np.ndarray) -> np.ndarray:
+    """Gang-wide atomic read-add-write in exact serial member order.
+
+    Reproduces, bit for bit, the serial oracle's per-member loop
+
+        for i in range(M):                        # ascending block order
+            old[i] = view[idx[i]]                 # member snapshot
+            np.add.at(view, idx[i][mask[i]], value[i][mask[i]])
+
+    without iterating members in Python: additions are stably grouped
+    by address (flattened row-major position == serial order), each
+    address's chain is folded sequentially via :func:`_segmented_prefix`,
+    and every lane's old value samples its address's chain at the
+    position just before its own member's additions.  Inactive lanes
+    read element 0 at their member's snapshot, exactly as
+    ``element_index`` maps them in the serial path.
+    """
+    M, W = idx.shape
+    S = M * W
+    flat_idx = idx.reshape(-1)
+    flat_mask = mask.reshape(-1)
+    old = view[flat_idx]  # pre-instruction snapshot (fancy copy)
+    w_pos = np.nonzero(flat_mask)[0]
+    if w_pos.size:
+        order = np.argsort(flat_idx[w_pos], kind="stable")
+        w_pos = w_pos[order]
+        w_idx = flat_idx[w_pos]
+        w_val = value.reshape(-1)[w_pos]
+        head = np.ones(w_idx.size, bool)
+        head[1:] = w_idx[1:] != w_idx[:-1]
+        starts = np.nonzero(head)[0]
+        uaddr = w_idx[starts]
+        lengths = np.diff(np.append(starts, w_idx.size))
+        prefix, offsets = _segmented_prefix(w_val, starts, lengths,
+                                            view[uaddr])
+        # Per lane: how many additions to its address precede its
+        # member?  Counted with one searchsorted over composite
+        # (address, serial position) keys.
+        group = np.searchsorted(uaddr, flat_idx)
+        hit = np.zeros(S, bool)
+        in_range = group < uaddr.size
+        hit[in_range] = uaddr[group[in_range]] == flat_idx[in_range]
+        member_first = (np.arange(S, dtype=np.int64) // W) * W
+        before = np.searchsorted(w_idx * S + w_pos,
+                                 flat_idx * S + member_first)
+        k = before - starts[np.where(hit, group, 0)]
+        old[hit] = prefix[offsets[group[hit]] + k[hit]]
+        view[uaddr] = prefix[offsets + lengths]  # final chain values
+    return old.reshape(M, W)
+
+
 class _BlockCtx:
     """Per-block resources shared by that block's fragments."""
 
@@ -145,13 +313,9 @@ class _Batch:
         self.plan = plan
         self.ipdom = plan.ipdom
         self.textures = textures
-        bx, by, bz = block_dim
-        self.nthreads = bx * by * bz
-        if self.nthreads > device.max_threads_per_block:
-            raise SimError(
-                f"block of {self.nthreads} threads exceeds device limit "
-                f"{device.max_threads_per_block}")
-        self.nwarps = (self.nthreads + WARP - 1) // WARP
+        self.proto = _gang_proto(plan, device, block_dim, grid_dim)
+        self.nthreads = self.proto.nthreads
+        self.nwarps = self.proto.nwarps
         smem_bytes = kernel.shared_bytes + dynamic_smem
         # All member blocks share one stacked byte buffer so gangs can
         # gather/scatter shared memory in a single fancy index; each
@@ -259,25 +423,8 @@ class _GangWarp:
         self.ctxs = ctxs
         M = len(ctxs)
         self.M = M
-        bx, by, bz = batch.block_dim
-        tids = (wid * WARP
-                + np.arange(WARP, dtype=np.uint32)).astype(np.uint32)
-        row_mask = tids < batch.nthreads
-        safe = np.where(row_mask, tids, 0)
-        gx, gy, gz = batch.grid_dim
-        specials = {
-            "tid.x": (safe % bx).astype(np.uint32),
-            "tid.y": ((safe // bx) % by).astype(np.uint32),
-            "tid.z": (safe // (bx * by)).astype(np.uint32),
-            "ntid.x": np.full(WARP, bx, np.uint32),
-            "ntid.y": np.full(WARP, by, np.uint32),
-            "ntid.z": np.full(WARP, bz, np.uint32),
-            "nctaid.x": np.full(WARP, gx, np.uint32),
-            "nctaid.y": np.full(WARP, gy, np.uint32),
-            "nctaid.z": np.full(WARP, gz, np.uint32),
-        }
-        for arr in specials.values():
-            arr.flags.writeable = False
+        base_specials, row_mask = batch.proto.warps[wid]
+        specials = dict(base_specials)
         for axis, key in enumerate(_CTAID_KEYS):
             specials[key] = np.array(
                 [c.block_idx[axis] for c in ctxs],
@@ -657,14 +804,13 @@ class _GangWarp:
         if space not in ("global", "shared"):
             raise SimError(f"atomicAdd on {space} memory")
         value = self._full(self._read(p.srcs[1]))
-        old = np.empty((self.M, WARP), dtype=p.np_dtype)
         if space == "global":
             mem = batch.gmem
-            view = mem.view(p.np_dtype)
-            for i in range(self.M):
-                idx = mem.element_index(addrs[i], itemsize, mask[i])
-                old[i] = view[idx]
-                np.add.at(view, idx[mask[i]], value[i][mask[i]])
+            idx = mem.element_index(
+                addrs.reshape(-1), itemsize,
+                mask.reshape(-1)).reshape(self.M, WARP)
+            old = _ordered_atomic_add(mem.view(p.np_dtype), idx, mask,
+                                      value)
         else:
             # Member rows are disjoint in the stack, so reading every
             # old value before any add matches the per-member order.
@@ -682,29 +828,8 @@ class _GangWarp:
             self.global_stalls += 1  # atomics round-trip
 
     def _global_txns(self, addrs, mask, itemsize) -> np.ndarray:
-        device = self.batch.device
-        if device.compute_capability[0] >= 2:
-            # Vectorised CC 2.x rule: distinct 128-byte lines per member.
-            lines = addrs.astype(np.int64) // 128
-            if itemsize > 1:
-                end = (addrs.astype(np.int64) + itemsize - 1) // 128
-                lines = np.concatenate([lines, end], axis=1)
-                m = np.concatenate([mask, mask], axis=1)
-            else:
-                m = mask
-            sentinel = np.iinfo(np.int64).max
-            lines = np.where(m, lines, sentinel)
-            lines.sort(axis=1)
-            uniq = np.ones(lines.shape, bool)
-            uniq[:, 1:] = lines[:, 1:] != lines[:, :-1]
-            uniq &= lines != sentinel
-            return uniq.sum(axis=1).astype(np.int64)
-        # CC 1.x half-warp segment rule: keep the oracle's scalar model.
-        txns = np.empty(self.M, np.int64)
-        for i in range(self.M):
-            txns[i] = coalescing.global_transactions(addrs[i], mask[i],
-                                                     itemsize, device)
-        return txns
+        return coalescing.global_transactions_batch(
+            addrs, mask, itemsize, self.batch.device)
 
     def _shared_index(self, addrs, mask, itemsize) -> np.ndarray:
         """Element indices into the batch shared stack, validated.

@@ -125,6 +125,11 @@ class KernelPlan:
             self._plan(i) for i in cfg.instrs]
         self.n_regs = len(self._reg_dtypes)
         self.n = len(self.instrs)
+        # Gang prototypes (repro.gpusim.engine): per-(block_dim,
+        # grid_dim) warp lane layouts reused across launches.  Stored
+        # on the plan so their lifetime rides the plan cache — evicted
+        # together when the kernel IR dies or the cache is cleared.
+        self.gang_protos: Dict[Tuple, object] = {}
 
     @property
     def kernel(self) -> Optional[IRKernel]:

@@ -231,11 +231,23 @@ class GPU:
                             stats=stats)
 
 
+#: Memoized sampled-launch block picks, keyed (grid3, sample_blocks).
+#: Sweeps re-launch the same grid hundreds of times with functional=False;
+#: the pick list is pure geometry, so compute it once per shape.
+_SAMPLE_CACHE: Dict[Tuple[Tuple[int, int, int], int],
+                    List[Tuple[int, int, int]]] = {}
+_SAMPLE_CACHE_MAX = 512
+
+
 def _block_indices(grid3, total_blocks, functional, sample_blocks):
     gx, gy, gz = grid3
     if functional or total_blocks <= sample_blocks:
         return [(x, y, z)
                 for z in range(gz) for y in range(gy) for x in range(gx)]
+    key = (grid3, sample_blocks)
+    cached = _SAMPLE_CACHE.get(key)
+    if cached is not None:
+        return cached
     # Spread samples across the grid so edge effects are represented.
     picks = np.linspace(0, total_blocks - 1, sample_blocks).astype(int)
     out = []
@@ -243,6 +255,9 @@ def _block_indices(grid3, total_blocks, functional, sample_blocks):
         z, rem = divmod(linear, gx * gy)
         y, x = divmod(rem, gx)
         out.append((x, y, z))
+    if len(_SAMPLE_CACHE) >= _SAMPLE_CACHE_MAX:
+        _SAMPLE_CACHE.clear()
+    _SAMPLE_CACHE[key] = out
     return out
 
 

@@ -39,6 +39,11 @@ class Sweeper:
         self.run = run
         self.jobs = jobs
         self.records: List[SweepRecord] = []
+        #: Simulator cache activity attributed to the last ``sweep()``
+        #: call: hit/miss deltas for the launch-plan cache and the
+        #: batched engine's gang-prototype cache.  A healthy sweep over
+        #: one kernel shows ~1 miss and hits for every other launch.
+        self.cache_report: Dict[str, int] = {}
 
     def _eval(self, config: dict) -> SweepRecord:
         try:
@@ -50,18 +55,34 @@ class Sweeper:
 
     def sweep(self, configs: Iterable[dict]) -> List[SweepRecord]:
         configs = list(configs)
-        if self.jobs == 1 or len(configs) <= 1:
-            for config in configs:
-                self.records.append(self._eval(config))
+        before = _cache_counters()
+        try:
+            if self.jobs == 1 or len(configs) <= 1:
+                for config in configs:
+                    self.records.append(self._eval(config))
+                return self.records
+            # Worker threads each evaluate whole configurations; the
+            # run function builds its own GPU context per call, so
+            # workers never share simulator state.  ``map`` keeps
+            # result order == config order, so records are
+            # deterministic regardless of which worker finishes first.
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                self.records.extend(pool.map(self._eval, configs))
             return self.records
-        # Worker threads each evaluate whole configurations; the run
-        # function builds its own GPU context per call, so workers
-        # never share simulator state.  ``map`` keeps result order ==
-        # config order, so records are deterministic regardless of
-        # which worker finishes first.
-        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            self.records.extend(pool.map(self._eval, configs))
-        return self.records
+        finally:
+            after = _cache_counters()
+            self.cache_report = {k: after[k] - before[k] for k in after}
+
+
+def _cache_counters() -> Dict[str, int]:
+    """Current simulator cache counters, namespaced per cache."""
+    from repro.gpusim import gang_cache_stats, plan_cache_stats
+    counters = {}
+    for prefix, stats in (("plan", plan_cache_stats()),
+                          ("gang", gang_cache_stats())):
+        for key in ("hits", "misses"):
+            counters[f"{prefix}_{key}"] = stats[key]
+    return counters
 
 
 def best_record(records: List[SweepRecord]) -> SweepRecord:

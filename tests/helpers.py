@@ -62,6 +62,33 @@ class KernelHarness:
         return outputs, result
 
 
+def assert_same_launch(src, grid, block, *arrays, scalars=(),
+                       arch="sm_20", functional=True, sample_blocks=8,
+                       const=None, defines=None):
+    """Run serial and batched with identical inputs; demand equality.
+
+    The batched engine's whole contract: bit-identical device memory,
+    per-warp stats, and Timing versus the serial oracle.
+    """
+    results = {}
+    for engine in ("serial", "batched"):
+        h = KernelHarness(src, arch=arch, defines=defines)
+        args = [a.copy() for a in arrays] + list(scalars)
+        outputs, res = h(grid, block, *args, functional=functional,
+                         sample_blocks=sample_blocks, const=const,
+                         engine=engine)
+        results[engine] = (outputs, res)
+    (out_s, res_s), (out_b, res_b) = results["serial"], results["batched"]
+    for a, b in zip(out_s, out_b):
+        assert a.tobytes() == b.tobytes()
+    assert res_s.blocks_executed == res_b.blocks_executed
+    assert len(res_s.stats) == len(res_b.stats)
+    for bs, bb in zip(res_s.stats, res_b.stats):
+        assert bs.warps == bb.warps
+    assert res_s.timing == res_b.timing
+    return results
+
+
 def run_kernel(source: str, grid, block, *args, **kwargs):
     """One-shot convenience wrapper around :class:`KernelHarness`."""
     const = kwargs.pop("const", None)

@@ -10,8 +10,11 @@ from repro.data.phantom import (ConeBeamGeometry, forward_project,
                                 shepp_logan_phantom)
 from repro.gpupf import KernelCache
 
-PROBLEM = BPProblem("T", nx=16, ny=16, nz=12, n_proj=12, det_u=24,
-                    det_v=16)
+# Paper-shaped scale (quarter-resolution of the dissertation's 64^3
+# reconstructions): affordable now that the batched engine absorbs the
+# interpreter cost.
+PROBLEM = BPProblem("T", nx=24, ny=24, nz=16, n_proj=12, det_u=32,
+                    det_v=24)
 
 
 @pytest.fixture(scope="module")
@@ -37,7 +40,10 @@ class TestCorrectness:
         r = bp.run(projections)
         np.testing.assert_allclose(r.volume, reference, atol=1e-4)
 
-    @pytest.mark.parametrize("zb", [1, 3, 8])
+    # zb=3 does not divide nz (remainder handling); zb=8 does.  zb=1
+    # (no blocking) adds nothing the zb sweep in the tuning tests
+    # doesn't already cover.
+    @pytest.mark.parametrize("zb", [3, 8])
     def test_zb_invariant(self, projections, reference, zb):
         bp = Backprojector(PROBLEM, BPConfig(block_x=8, block_y=8,
                                              zb=zb),
@@ -73,10 +79,16 @@ class TestCorrectness:
 
 class TestShape:
     def test_sk_fewer_registers_and_faster(self, projections):
+        # Sampled timing: the SK/RE cycle-count comparison doesn't need
+        # every block's outputs (correctness is covered above).
         cache = KernelCache()
-        sk = Backprojector(PROBLEM, BPConfig(zb=4, specialize=True),
+        sk = Backprojector(PROBLEM, BPConfig(zb=4, specialize=True,
+                                             functional=False,
+                                             sample_blocks=2),
                            cache=cache)
-        re = Backprojector(PROBLEM, BPConfig(zb=4, specialize=False),
+        re = Backprojector(PROBLEM, BPConfig(zb=4, specialize=False,
+                                             functional=False,
+                                             sample_blocks=2),
                            cache=cache)
         r_sk = sk.run(projections)
         r_re = re.run(projections)
@@ -86,8 +98,8 @@ class TestShape:
     def test_gpu_beats_modeled_cpu_at_scale(self):
         """At paper-scale volumes the GPU wins (Table 6.12); toy sizes
         are launch-overhead bound.  Sampled timing keeps this fast."""
-        big = BPProblem("big", nx=96, ny=96, nz=64, n_proj=48,
-                        det_u=128, det_v=96)
+        big = BPProblem("big", nx=64, ny=64, nz=48, n_proj=32,
+                        det_u=96, det_v=72)
         rng = np.random.default_rng(1)
         projs = rng.random((big.n_proj, big.det_v,
                             big.det_u)).astype(np.float32)

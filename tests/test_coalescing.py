@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.gpusim import TESLA_C1060, TESLA_C2070
 from repro.gpusim.coalescing import (global_transactions,
+                                     global_transactions_batch,
                                      shared_conflict_factor)
 
 FULL = np.ones(32, dtype=bool)
@@ -61,6 +62,48 @@ class TestGlobalCoalescing:
     def test_float8_double_counts_straddle(self):
         addrs = seq_addrs(stride=8)  # 256 bytes of doubles
         assert global_transactions(addrs, FULL, 8, TESLA_C2070) == 2
+
+
+class TestBatchedGlobalCoalescing:
+    """global_transactions_batch rows ≡ the scalar oracle, per member."""
+
+    @pytest.mark.parametrize("itemsize", [1, 2, 4, 8])
+    @pytest.mark.parametrize("device", [TESLA_C1060, TESLA_C2070],
+                             ids=["cc13", "cc20"])
+    def test_random_rows_match_oracle(self, itemsize, device):
+        rng = np.random.default_rng(1000 + itemsize)
+        M = 64
+        addrs = (rng.integers(0, 4096, (M, 32)) * rng.integers(
+            1, 5, (M, 32))).astype(np.uint64)
+        mask = rng.random((M, 32)) < 0.8
+        mask[0] = False          # fully inactive member
+        mask[1] = True           # fully active member
+        mask[2, 16:] = False     # one idle half-warp
+        batch = global_transactions_batch(addrs, mask, itemsize, device)
+        for i in range(M):
+            assert batch[i] == global_transactions(addrs[i], mask[i],
+                                                   itemsize, device), i
+
+    @pytest.mark.parametrize("device", [TESLA_C1060, TESLA_C2070],
+                             ids=["cc13", "cc20"])
+    def test_structured_rows_match_oracle(self, device):
+        # One member per classic regime, stacked into a single gang.
+        lanes = np.arange(32, dtype=np.int64)
+        rng = np.random.default_rng(7)
+        rows = [lanes * 4,                     # aligned
+                rng.permutation(32) * 4,       # permuted in-segment
+                lanes * 4 + 4,                 # misaligned
+                lanes * 8,                     # stride 2
+                lanes * 16,                    # stride 4
+                lanes * 128,                   # stride 32
+                rng.integers(0, 1 << 20, 32),  # scattered
+                np.zeros(32, np.int64)]        # broadcast
+        addrs = np.stack(rows).astype(np.uint64)
+        mask = np.ones(addrs.shape, bool)
+        batch = global_transactions_batch(addrs, mask, 4, device)
+        for i in range(len(rows)):
+            assert batch[i] == global_transactions(addrs[i], mask[i],
+                                                   4, device), i
 
 
 class TestSharedBanks:

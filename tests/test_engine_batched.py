@@ -14,35 +14,13 @@ import pickle
 import numpy as np
 import pytest
 
-from tests.helpers import KernelHarness
+from tests.helpers import KernelHarness, assert_same_launch
 from repro.gpupf.cache import KernelCache
 from repro.gpusim import (GPU, TESLA_C1060, TESLA_C2070,
-                          clear_plan_cache, plan_cache_stats, plan_for)
+                          clear_plan_cache, gang_cache_stats,
+                          plan_cache_stats, plan_for)
 from repro.kernelc import nvcc
 from repro.tuning.sweep import SweepRecord, Sweeper, best_record
-
-
-def assert_same_launch(src, grid, block, *arrays, scalars=(),
-                       arch="sm_20", functional=True, sample_blocks=8,
-                       const=None, defines=None):
-    """Run serial and batched with identical inputs; demand equality."""
-    results = {}
-    for engine in ("serial", "batched"):
-        h = KernelHarness(src, arch=arch, defines=defines)
-        args = [a.copy() for a in arrays] + list(scalars)
-        outputs, res = h(grid, block, *args, functional=functional,
-                         sample_blocks=sample_blocks, const=const,
-                         engine=engine)
-        results[engine] = (outputs, res)
-    (out_s, res_s), (out_b, res_b) = results["serial"], results["batched"]
-    for a, b in zip(out_s, out_b):
-        assert a.tobytes() == b.tobytes()
-    assert res_s.blocks_executed == res_b.blocks_executed
-    assert len(res_s.stats) == len(res_b.stats)
-    for bs, bb in zip(res_s.stats, res_b.stats):
-        assert bs.warps == bb.warps
-    assert res_s.timing == res_b.timing
-    return results
 
 
 DIVERGENT_SRC = """
@@ -259,6 +237,270 @@ def test_2d_grid_and_block_match():
     assert_same_launch(src, (3, 3), (16, 8), out, inp, scalars=(w, h))
 
 
+# -- CC 1.x coalescing stat parity -------------------------------------
+#
+# The batched engine computes CC 1.3 half-warp transactions with the
+# vectorized rule in coalescing.global_transactions_batch; these launches
+# pin its counts to the scalar oracle for every addressing regime the
+# rule distinguishes, end to end through device stats.
+
+
+GATHER_SRC = """
+__global__ void k(float* out, const float* in, const int* map) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    out[gid] = in[map[gid]];
+}
+"""
+
+
+def _regime_map(regime, blocks, rng):
+    """Per-lane gather indices for each addressing regime, per block."""
+    lanes = np.arange(32)
+    rows = []
+    for b in range(blocks):
+        base = 32 * b
+        if regime == "aligned":
+            rows.append(base + lanes)
+        elif regime == "permuted":
+            rows.append(base + rng.permutation(32))
+        elif regime == "misaligned":
+            rows.append(base + lanes + 1)
+        elif regime == "strided2":
+            rows.append(base + lanes * 2)
+        elif regime == "strided4":
+            rows.append(base + lanes * 4)
+        elif regime == "strided32":
+            rows.append(lanes * 32 + b)
+        elif regime == "scattered":
+            rows.append(rng.integers(0, 1024, 32))
+        else:
+            raise AssertionError(regime)
+    return np.concatenate(rows).astype(np.int32)
+
+
+@pytest.mark.parametrize("regime", ["aligned", "permuted", "misaligned",
+                                    "strided2", "strided4", "strided32",
+                                    "scattered"])
+@pytest.mark.parametrize("arch,spec", [("sm_13", TESLA_C1060),
+                                       ("sm_20", TESLA_C2070)])
+def test_coalescing_regime_stat_parity(regime, arch, spec):
+    from repro.gpusim.coalescing import global_transactions
+
+    blocks = 6
+    rng = np.random.default_rng(hash((regime, arch)) % 2**32)
+    gather = _regime_map(regime, blocks, rng)
+    inp = rng.standard_normal(1024 + 32 * 32).astype(np.float32)
+    out = np.zeros(blocks * 32, np.float32)
+    mod = nvcc(GATHER_SRC, arch=arch)
+    per_engine = {}
+    for engine in ("serial", "batched"):
+        gpu = GPU(spec)
+        d_out = gpu.alloc_array(out)
+        d_in = gpu.alloc_array(inp)
+        d_map = gpu.alloc_array(gather)
+        res = gpu.launch(mod.kernel("k"), (blocks,), (32,),
+                         [d_out, d_in, d_map], engine=engine)
+        per_engine[engine] = (gpu.memcpy_dtoh(d_out, np.float32,
+                                              out.size), res, d_in,
+                              d_out, d_map)
+    out_s, res_s = per_engine["serial"][:2]
+    out_b, res_b, d_in, d_out, d_map = per_engine["batched"]
+    assert out_s.tobytes() == out_b.tobytes()
+    mask = np.ones(32, bool)
+    for b, (bs, bb) in enumerate(zip(res_s.stats, res_b.stats)):
+        assert bs.warps == bb.warps
+        # Expected: one warp per block; its transactions are the
+        # oracle's counts for the map load, the gather, and the store.
+        lane_gids = b * 32 + np.arange(32)
+        expect = (global_transactions(d_map + 4 * lane_gids, mask, 4,
+                                      spec)
+                  + global_transactions(
+                      d_in + 4 * gather[lane_gids].astype(np.int64),
+                      mask, 4, spec)
+                  + global_transactions(d_out + 4 * lane_gids, mask, 4,
+                                        spec))
+        assert bb.warps[0].mem_transactions == expect
+    assert res_s.timing == res_b.timing
+
+
+@pytest.mark.parametrize("ctype,npdtype", [("unsigned char", np.uint8),
+                                           ("unsigned short", np.uint16)])
+def test_cc13_small_itemsize_segments_match(ctype, npdtype):
+    # 1- and 2-byte accesses shrink the CC 1.3 segment to 32/64 bytes.
+    src = f"""
+    __global__ void k({ctype}* out, const {ctype}* in, const int* map) {{
+        int gid = blockIdx.x * blockDim.x + threadIdx.x;
+        out[gid] = in[map[gid]];
+    }}
+    """
+    rng = np.random.default_rng(21)
+    blocks = 5
+    gather = _regime_map("scattered", blocks, rng)
+    inp = rng.integers(0, 200, 1024 + 32 * 32).astype(npdtype)
+    out = np.zeros(blocks * 32, npdtype)
+    assert_same_launch(src, (blocks,), (32,), out, inp, gather,
+                       arch="sm_13")
+
+
+@pytest.mark.parametrize("arch", ["sm_13", "sm_20"])
+def test_partial_warp_coalescing_match(arch):
+    # 48-thread blocks: the second warp's upper half-warp is inactive.
+    rng = np.random.default_rng(22)
+    blocks = 4
+    n = blocks * 48
+    gather = rng.integers(0, 512, n).astype(np.int32)
+    src = """
+    __global__ void k(float* out, const float* in, const int* map,
+                      int n) {
+        int gid = blockIdx.x * blockDim.x + threadIdx.x;
+        if (gid < n) out[gid] = in[map[gid]];
+    }
+    """
+    inp = rng.standard_normal(512).astype(np.float32)
+    out = np.zeros(n, np.float32)
+    assert_same_launch(src, (blocks,), (48,), out, inp, gather,
+                       scalars=(n,), arch=arch)
+
+
+# -- ordered float atomics ---------------------------------------------
+#
+# Float atomicAdd is order-sensitive; the contract is that within one
+# warp-instruction, member effects land in ascending block order (the
+# serial order).  Single-warp blocks keep the per-block schedule
+# identical in both engines, so results must be bit-exact.
+
+
+SAME_ADDR_ATOMIC_SRC = """
+__global__ void k(float* acc, const float* in) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    atomicAdd(&acc[0], in[gid]);
+}
+"""
+
+PARTITIONED_ATOMIC_SRC = """
+__global__ void k(float* acc, const float* in, int bins) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    atomicAdd(&acc[blockIdx.x % bins], in[gid]);
+}
+"""
+
+CROSS_BLOCK_ATOMIC_SRC = """
+__global__ void k(float* acc, const float* in, const int* bin) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    atomicAdd(&acc[bin[gid]], in[gid]);
+}
+"""
+
+OLD_VALUE_ATOMIC_SRC = """
+__global__ void k(float* out, float* acc, const float* in,
+                  const int* bin) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    out[gid] = atomicAdd(&acc[bin[gid]], in[gid]);
+}
+"""
+
+
+@pytest.mark.parametrize("arch", ["sm_13", "sm_20"])
+def test_atomic_all_same_address_bit_exact(arch):
+    rng = np.random.default_rng(30)
+    blocks = 17
+    vals = rng.standard_normal(blocks * 32).astype(np.float32)
+    acc = np.zeros(1, np.float32)
+    results = assert_same_launch(SAME_ADDR_ATOMIC_SRC, (blocks,), (32,),
+                                 acc, vals, arch=arch)
+    # Serial semantics: lanes retire in gid order, so the final value
+    # is the exact sequential float32 fold — not a reassociated sum.
+    expect = np.float32(0.0)
+    for v in vals:
+        expect = np.float32(expect + v)
+    got = results["batched"][0][0][0]
+    assert got.tobytes() == expect.tobytes()
+
+
+@pytest.mark.parametrize("bins", [1, 3, 8])
+def test_atomic_partitioned_bit_exact(bins):
+    rng = np.random.default_rng(31)
+    blocks = 13
+    vals = rng.standard_normal(blocks * 32).astype(np.float32)
+    acc = np.zeros(bins, np.float32)
+    assert_same_launch(PARTITIONED_ATOMIC_SRC, (blocks,), (32,), acc,
+                       vals, scalars=(bins,), arch="sm_13")
+
+
+@pytest.mark.parametrize("arch", ["sm_13", "sm_20"])
+@pytest.mark.parametrize("bins", [1, 4, 64])
+def test_atomic_cross_block_bit_exact(arch, bins):
+    rng = np.random.default_rng(32)
+    blocks = 11
+    n = blocks * 32
+    vals = rng.standard_normal(n).astype(np.float32)
+    bin_of = rng.integers(0, bins, n).astype(np.int32)
+    acc = np.zeros(bins, np.float32)
+    assert_same_launch(CROSS_BLOCK_ATOMIC_SRC, (blocks,), (32,), acc,
+                       vals, bin_of, arch=arch)
+
+
+@pytest.mark.parametrize("bins", [1, 4, 16])
+def test_atomic_old_values_bit_exact(bins):
+    # The returned pre-add snapshot encodes exactly where in the chain
+    # each member's read happened; any ordering slip shows up here.
+    rng = np.random.default_rng(33)
+    blocks = 9
+    n = blocks * 32
+    vals = rng.standard_normal(n).astype(np.float32)
+    bin_of = rng.integers(0, bins, n).astype(np.int32)
+    acc = rng.standard_normal(bins).astype(np.float32)
+    out = np.zeros(n, np.float32)
+    results = {}
+    for engine in ("serial", "batched"):
+        h = KernelHarness(OLD_VALUE_ATOMIC_SRC)
+        outs, res = h((blocks,), (32,), out.copy(), acc.copy(), vals,
+                      bin_of, engine=engine)
+        results[engine] = (outs, res)
+    o_s, a_s = results["serial"][0][:2]
+    o_b, a_b = results["batched"][0][:2]
+    assert o_s.tobytes() == o_b.tobytes()
+    assert a_s.tobytes() == a_b.tobytes()
+    for bs, bb in zip(results["serial"][1].stats,
+                      results["batched"][1].stats):
+        assert bs.warps == bb.warps
+
+
+def test_atomic_global_stalls_counted_equally():
+    rng = np.random.default_rng(34)
+    blocks = 8
+    n = blocks * 32
+    vals = rng.standard_normal(n).astype(np.float32)
+    bin_of = rng.integers(0, 2, n).astype(np.int32)
+    acc = np.zeros(2, np.float32)
+    results = assert_same_launch(CROSS_BLOCK_ATOMIC_SRC, (blocks,),
+                                 (32,), acc, vals, bin_of, arch="sm_13")
+    stalls = [w.global_stalls
+              for s in results["batched"][1].stats for w in s.warps]
+    assert sum(stalls) > 0  # contended adds must register stalls
+
+
+# -- gang-prototype cache ----------------------------------------------
+
+
+def test_gang_proto_cached_across_launches():
+    clear_plan_cache()
+    h = KernelHarness(DIVERGENT_SRC)
+    n = 256
+    inp = np.ones(n, np.float32)
+    out = np.zeros(n, np.float32)
+    before = gang_cache_stats()
+    for _ in range(3):
+        h((4,), (64,), out, inp, n, engine="batched")
+    delta = {k: gang_cache_stats()[k] - before[k] for k in before}
+    assert delta == {"misses": 1, "hits": 2}
+    # A different launch shape builds (and caches) its own prototype.
+    h((2,), (128,), np.zeros(n, np.float32), inp, n, engine="batched")
+    delta = {k: gang_cache_stats()[k] - before[k] for k in before}
+    assert delta == {"misses": 2, "hits": 2}
+    clear_plan_cache()
+
+
 # -- plan cache --------------------------------------------------------
 
 
@@ -313,6 +555,27 @@ def test_sweeper_jobs_deterministic():
             [r.config for r in serial_records]
         assert [r.seconds for r in records] == \
             [r.seconds for r in serial_records]
+
+
+def test_sweeper_cache_report_attributes_reuse():
+    clear_plan_cache()
+    h = KernelHarness(DIVERGENT_SRC)
+
+    def run(config):
+        n = 64 * 4
+        inp = np.linspace(-1, 1, n).astype(np.float32)
+        out = np.zeros(n, np.float32)
+        _, res = h((4,), (64,), out, inp, n, engine="batched")
+        return SweepRecord(config=config, seconds=res.seconds)
+
+    sweeper = Sweeper(run)
+    sweeper.sweep([{"i": i} for i in range(4)])
+    report = sweeper.cache_report
+    # One compile/shape, four launches: everything after the first is
+    # a cache hit in both the plan and gang-prototype caches.
+    assert report["plan_misses"] == 1 and report["plan_hits"] == 3
+    assert report["gang_misses"] == 1 and report["gang_hits"] == 3
+    clear_plan_cache()
 
 
 def test_sweeper_jobs_captures_failures():

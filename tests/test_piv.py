@@ -9,12 +9,15 @@ from repro.data.piv import particle_image_pair
 from repro.gpupf import KernelCache
 from repro.gpusim import TESLA_C1060, TESLA_C2070
 
-PROBLEM = PIVProblem("T", 48, 64, mask=8, offs=5, overlap=0)
+# Paper-shaped scale (a quarter of the dissertation's 256x256 frames
+# with its 16-px masks): affordable now that the batched engine absorbs
+# the interpreter cost.
+PROBLEM = PIVProblem("T", 96, 128, mask=16, offs=7, overlap=0)
 
 
 @pytest.fixture(scope="module")
 def workload():
-    a, b = particle_image_pair(48, 64, displacement=(1, -2), seed=3)
+    a, b = particle_image_pair(96, 128, displacement=(1, -2), seed=3)
     ref = ssd_scores(a, b, PROBLEM)
     return a, b, ref
 
@@ -51,7 +54,7 @@ class TestCorrectness:
                     cache=KernelCache())
         np.testing.assert_allclose(r.scores, ref, rtol=1e-4)
 
-    @pytest.mark.parametrize("rb", [1, 3, 5, 8])
+    @pytest.mark.parametrize("rb", [1, 3, 8])
     def test_rb_does_not_change_scores(self, workload, rb):
         """RB is an implementation parameter: results are invariant,
         including when RB does not divide the offset count."""

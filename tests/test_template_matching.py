@@ -11,8 +11,11 @@ from repro.data.frames import roi_origin, template_sequence
 from repro.gpupf import KernelCache
 from repro.gpusim import TESLA_C1060, TESLA_C2070
 
-PROBLEM = MatchProblem("T", frame_h=80, frame_w=100, tmpl_h=20,
-                       tmpl_w=16, shift_h=7, shift_w=9, n_frames=2)
+# Paper-shaped scale (half the dissertation's 240x320 frames with a
+# proportional template/ROI): affordable now that the batched engine
+# absorbs the interpreter cost.
+PROBLEM = MatchProblem("T", frame_h=120, frame_w=160, tmpl_h=28,
+                       tmpl_w=24, shift_h=9, shift_w=11, n_frames=2)
 
 
 @pytest.fixture(scope="module")
@@ -78,7 +81,7 @@ class TestCorrectness:
         for frame, truth in zip(frames, shifts):
             assert m.match(frame).shift == truth
 
-    @pytest.mark.parametrize("tile", [(8, 8), (16, 8), (7, 5)])
+    @pytest.mark.parametrize("tile", [(16, 8), (7, 5)])
     def test_tile_size_does_not_change_result(self, workload, tile):
         frames, tmpl, _ = workload
         base = TemplateMatcher(PROBLEM, tmpl, MatchConfig(
