@@ -1,0 +1,68 @@
+"""Process-wide fault-injection hook point.
+
+Hot paths consult ``hooks.ACTIVE`` — a single module attribute that is
+``None`` unless a chaos run installed an injector.  The disabled-path
+cost is one attribute load and a ``None`` test, and the wired-in sites
+sit at coarse granularity (per compile, per launch, per gang batch,
+per allocation), so production runs pay effectively nothing.
+
+Usage::
+
+    from repro.faults import FaultPlan, injecting
+
+    with injecting(FaultPlan(seed=7, rates={"nvcc.compile": 0.2})) as inj:
+        run_workload()
+    print(inj.summary())
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Optional, Union
+
+from repro.faults.plan import FaultInjector, FaultPlan
+
+#: The installed injector, or None (the common, zero-overhead case).
+ACTIVE: Optional[FaultInjector] = None
+
+_INSTALL_LOCK = threading.Lock()
+
+
+def install(plan: Union[FaultPlan, FaultInjector]) -> FaultInjector:
+    """Install *plan* process-wide; returns the live injector.
+
+    Exactly one injector may be active at a time — nested installs are
+    a test bug and raise immediately.
+    """
+    global ACTIVE
+    injector = plan if isinstance(plan, FaultInjector) \
+        else FaultInjector(plan)
+    with _INSTALL_LOCK:
+        if ACTIVE is not None:
+            raise RuntimeError("fault injection is already active; "
+                               "clear() the current injector first")
+        ACTIVE = injector
+    return injector
+
+
+def clear() -> None:
+    """Remove the active injector (idempotent)."""
+    global ACTIVE
+    with _INSTALL_LOCK:
+        ACTIVE = None
+
+
+def active() -> Optional[FaultInjector]:
+    """The live injector, or None when injection is disabled."""
+    return ACTIVE
+
+
+@contextmanager
+def injecting(plan: Union[FaultPlan, FaultInjector]):
+    """Context manager: install *plan*, always clear on exit."""
+    injector = install(plan)
+    try:
+        yield injector
+    finally:
+        clear()

@@ -1,0 +1,203 @@
+"""Deterministic fault plans and the injector that executes them.
+
+A :class:`FaultPlan` is a *seeded, declarative* description of which
+fault sites misbehave and how often; a :class:`FaultInjector` walks the
+plan at run time.  Determinism is the whole point: the same plan
+against the same workload produces the same fault sequence, so chaos
+tests can assert exact outcomes ("the second launch attempt fails, the
+third succeeds, results are bit-identical").
+
+Site visit semantics, per site:
+
+* visits 1..``skips[site]`` never fire (lets a plan target the Nth
+  visit specifically — e.g. "kill the watchdog on batch 2 only");
+* visits ``skips[site]+1 .. skips[site]+counts[site]`` always fire
+  (deterministic bursts);
+* beyond that, each visit fires with probability ``rates[site]`` from
+  a per-site seeded stream (sites never perturb each other's draws);
+* a ``match[site]`` substring restricts the site to visits whose
+  ``detail`` contains it (e.g. fire ``nvcc.compile`` only for
+  specialized compiles by matching ``"CT_"``);
+* ``max_total`` caps the total number of injections across all sites.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.faults.errors import FAULT_SITES, FaultError, error_for
+
+
+def _site_rng(seed: int, site: str) -> random.Random:
+    """An independent, reproducible stream per (seed, site)."""
+    digest = hashlib.sha256(f"{seed}:{site}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def _check_sites(mapping: Mapping[str, object], what: str) -> None:
+    for site in mapping:
+        if site not in FAULT_SITES:
+            raise ValueError(
+                f"{what} names unknown fault site {site!r}; expected "
+                f"one of {sorted(FAULT_SITES)}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded description of which fault sites fire, and when."""
+
+    seed: int = 0
+    rates: Mapping[str, float] = field(default_factory=dict)
+    counts: Mapping[str, int] = field(default_factory=dict)
+    skips: Mapping[str, int] = field(default_factory=dict)
+    match: Mapping[str, str] = field(default_factory=dict)
+    max_total: Optional[int] = None
+
+    def __post_init__(self):
+        _check_sites(self.rates, "rates")
+        _check_sites(self.counts, "counts")
+        _check_sites(self.skips, "skips")
+        _check_sites(self.match, "match")
+        for site, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {site!r} must be in [0, 1], "
+                                 f"got {rate}")
+
+    def sites(self) -> Tuple[str, ...]:
+        """Sites this plan can possibly fire."""
+        return tuple(s for s in FAULT_SITES
+                     if self.counts.get(s, 0) > 0
+                     or self.rates.get(s, 0.0) > 0.0)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded by the injector."""
+
+    seq: int
+    site: str
+    action: str  # "raise" | "corrupt" | "flip"
+    visit: int
+    detail: str = ""
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`; thread-safe; fully deterministic.
+
+    The wired-in subsystems consult the process-wide injector (see
+    :mod:`repro.faults.hooks`) at their named sites.  Each consult is a
+    *visit*; the plan decides whether the visit becomes an injection.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.events: List[FaultEvent] = []
+        self._visits: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+        self._rngs = {site: _site_rng(plan.seed, site)
+                      for site in plan.sites()}
+        self._total_fired = 0
+        self._lock = threading.Lock()
+
+    # -- decision core -------------------------------------------------
+
+    def _decide(self, site: str, detail: str) -> bool:
+        """Count one visit to *site*; True when a fault must fire."""
+        plan = self.plan
+        if site not in self._rngs:
+            return False  # site not in the plan: zero bookkeeping
+        pattern = plan.match.get(site)
+        if pattern is not None and pattern not in detail:
+            return False
+        self._visits[site] = visit = self._visits.get(site, 0) + 1
+        if plan.max_total is not None \
+                and self._total_fired >= plan.max_total:
+            return False
+        skip = plan.skips.get(site, 0)
+        if visit <= skip:
+            return False
+        fire = visit - skip <= plan.counts.get(site, 0)
+        rate = plan.rates.get(site, 0.0)
+        if rate:
+            # Always consume the draw so the stream position depends
+            # only on the visit number, never on counts/skips.
+            draw = self._rngs[site].random()
+            fire = fire or draw < rate
+        if fire:
+            self._fired[site] = self._fired.get(site, 0) + 1
+            self._total_fired += 1
+        return fire
+
+    def _record(self, site: str, action: str, detail: str) -> FaultEvent:
+        event = FaultEvent(seq=len(self.events), site=site,
+                           action=action,
+                           visit=self._visits.get(site, 0),
+                           detail=detail)
+        self.events.append(event)
+        return event
+
+    # -- the three injection shapes ------------------------------------
+
+    def check(self, site: str, detail: str = "") -> None:
+        """Visit *site*; raise its typed fault when the plan fires."""
+        with self._lock:
+            if not self._decide(site, detail):
+                return
+            self._record(site, "raise", detail)
+            visit = self._visits[site]
+        raise error_for(site)(
+            f"injected fault at site {site} (visit {visit}"
+            f"{', ' + detail if detail else ''})")
+
+    def corrupt_bytes(self, site: str, data: bytes,
+                      detail: str = "") -> bytes:
+        """Visit *site*; return *data*, corrupted when the plan fires.
+
+        Corruption truncates the payload and flips its first byte, so a
+        pickled entry is guaranteed to fail to load (a clean, detectable
+        corruption — the disk-cache quarantine path must catch it).
+        """
+        with self._lock:
+            if not self._decide(site, detail):
+                return data
+            self._record(site, "corrupt", detail)
+        if not data:
+            return b"\xff"
+        cut = max(1, len(data) // 2)
+        return bytes([data[0] ^ 0xFF]) + data[1:cut]
+
+    def maybe_flip(self, site: str, view, detail: str = ""):
+        """Visit *site*; flip one bit of *view* (uint8) when firing.
+
+        Returns the flipped byte offset, or ``None`` when nothing
+        fired.  Callers decide what a flip means (our launcher treats
+        it as a *detected* uncorrectable ECC error and raises).
+        """
+        with self._lock:
+            if len(view) == 0 or not self._decide(site, detail):
+                return None
+            bit = self._rngs[site].randrange(len(view) * 8)
+            self._record(site, "flip", f"{detail} byte={bit // 8}")
+        view[bit // 8] ^= 1 << (bit % 8)
+        return bit // 8
+
+    # -- observability -------------------------------------------------
+
+    @property
+    def visits(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._visits)
+
+    def summary(self) -> Dict[str, int]:
+        """Fault counts by site — the injector's own taxonomy."""
+        with self._lock:
+            return dict(self._fired)
+
+    @property
+    def total_fired(self) -> int:
+        with self._lock:
+            return self._total_fired

@@ -1,0 +1,80 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The resilience layer's one retry primitive: compiles and launches both
+go through :func:`retry_call`.  Only *transient* faults are retried
+(``FaultError.transient``); genuine errors — a parse error in kernel
+source, an out-of-bounds access, out-of-memory — propagate on the
+first attempt so the degradation ladder (or the caller) can act.
+
+Jitter is drawn from a seeded stream so a retried run is exactly
+reproducible; backoff delays default to ~1 ms so retries remain
+observable in wall-clock terms without slowing tests.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, TypeVar
+
+from repro.faults.errors import FaultError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts, and how long to back off between them."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.001   # seconds before attempt 2
+    backoff: float = 2.0        # delay multiplier per further attempt
+    jitter: float = 0.25        # +[0, jitter) fraction of the delay
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before attempt ``attempt + 1`` (attempts are 1-based)."""
+        delay = self.base_delay * (self.backoff ** (attempt - 1))
+        return delay * (1.0 + self.jitter * rng.random())
+
+
+def default_should_retry(exc: BaseException) -> bool:
+    """Retry transient injected faults only."""
+    return isinstance(exc, FaultError) and exc.transient
+
+
+def retry_call(fn: Callable[[], T],
+               policy: Optional[RetryPolicy] = None,
+               should_retry: Callable[[BaseException], bool]
+               = default_should_retry,
+               on_retry: Optional[Callable[[BaseException, int, float],
+                                           None]] = None,
+               sleep: Callable[[float], None] = time.sleep,
+               ) -> Tuple[T, int]:
+    """Call *fn* under *policy*; returns ``(result, attempts_used)``.
+
+    ``on_retry(exc, attempt, delay)`` runs before each backoff — the
+    pipeline uses it to record the retry and restore device-memory
+    snapshots.  The final failure re-raises the last exception
+    unchanged, so callers keep its type and fault site.
+    """
+    policy = policy or RetryPolicy()
+    rng = random.Random(policy.seed)
+    attempt = 1
+    while True:
+        try:
+            return fn(), attempt
+        except Exception as exc:
+            if attempt >= policy.max_attempts or not should_retry(exc):
+                raise
+            delay = policy.delay_for(attempt, rng)
+            if on_retry is not None:
+                on_retry(exc, attempt, delay)
+            if delay > 0:
+                sleep(delay)
+            attempt += 1

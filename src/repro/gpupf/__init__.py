@@ -26,11 +26,13 @@ from repro.gpupf.params import (ArrayTraits, BooleanParam, FloatParam,
                                 PairParam, Parameter, PointerParam,
                                 Schedule, StepParam, TripletParam,
                                 TypeParam)
-from repro.gpupf.pipeline import Pipeline, PipelineError
+from repro.gpupf.pipeline import (Pipeline, PipelineError,
+                                  PipelineFaultError)
 
 __all__ = [
-    "Pipeline", "PipelineError", "KernelCache", "Parameter", "IntParam",
-    "FloatParam", "BooleanParam", "PointerParam", "TripletParam",
-    "PairParam", "TypeParam", "StepParam", "MemoryExtent",
-    "MemorySubset", "Schedule", "ArrayTraits",
+    "Pipeline", "PipelineError", "PipelineFaultError", "KernelCache",
+    "Parameter", "IntParam", "FloatParam", "BooleanParam",
+    "PointerParam", "TripletParam", "PairParam", "TypeParam",
+    "StepParam", "MemoryExtent", "MemorySubset", "Schedule",
+    "ArrayTraits",
 ]

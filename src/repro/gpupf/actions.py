@@ -17,6 +17,9 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.faults import hooks as fault_hooks
+from repro.faults.errors import FaultError
+from repro.faults.retry import retry_call
 from repro.gpupf.params import Parameter, Schedule, TripletParam
 from repro.gpupf.resources import (ConstantMemory, GlobalMemory,
                                    HostMemory, KernelResource,
@@ -152,14 +155,52 @@ class KernelExecution(Action):
         grid = _resolve(self.grid)
         block = _resolve(self.block)
         args = [self._resolve_arg(a) for a in self.args]
-        result = self.pipeline.gpu.launch(
-            compiled, grid, block, args,
-            dynamic_smem=int(_resolve(self.dynamic_smem)),
-            functional=self.functional,
-            sample_blocks=self.sample_blocks,
-            engine=self.engine)
+
+        def launch():
+            return self.pipeline.gpu.launch(
+                compiled, grid, block, args,
+                dynamic_smem=int(_resolve(self.dynamic_smem)),
+                functional=self.functional,
+                sample_blocks=self.sample_blocks,
+                engine=self.engine)
+
+        if fault_hooks.ACTIVE is None:
+            result = launch()  # fast path: no injector, no snapshots
+        else:
+            result = self._launch_resilient(launch)
         self.last_result = result
         return result.seconds
+
+    def _launch_resilient(self, launch):
+        """Retry transient launch faults from a restored snapshot.
+
+        Watchdog kills and detected ECC errors leave device memory
+        partially written; each retry first rolls global memory back to
+        the pre-launch snapshot so a completed run is bit-identical to
+        a fault-free one.  Exhausted budgets raise a typed
+        PipelineFaultError naming the fault site.
+        """
+        from repro.gpupf.pipeline import PipelineFaultError
+        pipe = self.pipeline
+        gmem = pipe.gpu.gmem
+        snapshot = gmem.snapshot()
+
+        def on_retry(exc, attempt, delay):
+            site = getattr(exc, "site", "launch.fail")
+            pipe._record_retry(site, f"action {self.name}", attempt,
+                               delay)
+            gmem.restore(snapshot)
+
+        try:
+            result, _ = retry_call(launch, policy=pipe.retry,
+                                   on_retry=on_retry)
+            return result
+        except FaultError as exc:
+            pipe._record_fault(exc.site, f"action {self.name}")
+            raise PipelineFaultError(
+                f"action {self.name!r}: launch failed at fault site "
+                f"{exc.site} after {pipe.retry.max_attempts} attempts: "
+                f"{exc}", site=exc.site, phase="execute") from exc
 
 
 class UserFunction(Action):

@@ -5,6 +5,21 @@ parameters is encountered, the previously generated kernel can be loaded
 quickly."  Keys combine a hash of the source, the sorted macro
 definitions, the target architecture, and the optimization level.  An
 optional on-disk layer persists modules across processes.
+
+Robustness properties:
+
+* **Thread-safe.**  ``Sweeper(jobs=N)`` worker threads share one cache;
+  all counter updates and ``_memory`` writes happen under a lock, and a
+  per-key single-flight latch guarantees concurrent requests for the
+  same key compile exactly once (the rest wait and take a hit).
+* **Crash-safe disk entries.**  Writes go through a temp file +
+  ``os.replace``; a corrupt or legacy-version entry is *quarantined*
+  (renamed to ``<key>.mod.corrupt``) after its failed unpickle, counted
+  in the ``corrupt`` stat, and never re-read — the entry is recompiled
+  and rewritten in place.
+* **Fault-injectable.**  The ``cache.corrupt`` fault site corrupts the
+  bytes read from disk, exercising the quarantine path deterministically
+  (see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -12,9 +27,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
+import threading
 from typing import Dict, Mapping, Optional
 
+from repro.faults import hooks as fault_hooks
 from repro.kernelc.compiler import CompiledModule, nvcc
 
 #: On-disk entry layout version.  Bump whenever the pickled module
@@ -40,9 +56,12 @@ class KernelCache:
 
     def __init__(self, disk_dir: Optional[str] = None):
         self._memory: Dict[str, CompiledModule] = {}
+        self._lock = threading.RLock()
+        self._in_flight: Dict[str, threading.Event] = {}
         self.disk_dir = disk_dir
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         if disk_dir:
             os.makedirs(disk_dir, exist_ok=True)
 
@@ -57,42 +76,108 @@ class KernelCache:
             key_src += "".join(f"\n//@{n}\n{headers[n]}"
                                for n in sorted(headers))
         key = cache_key(key_src, defines, arch, opt_level)
-        module = self._memory.get(key)
-        if module is not None:
-            self.hits += 1
+        while True:
+            with self._lock:
+                module = self._memory.get(key)
+                if module is not None:
+                    self.hits += 1
+                    return module
+                latch = self._in_flight.get(key)
+                if latch is None:
+                    latch = threading.Event()
+                    self._in_flight[key] = latch
+                    break  # we are the leader for this key
+            # Another thread is compiling this key: wait, then re-check.
+            # If the leader failed, the re-check makes us the new leader.
+            latch.wait()
+        try:
+            module = self._load_from_disk(key)
+            if module is not None:
+                with self._lock:
+                    self._memory[key] = module
+                    self.hits += 1
+                return module
+            with self._lock:
+                self.misses += 1
+            module = nvcc(source, defines=defines, arch=arch,
+                          opt_level=opt_level, headers=headers)
+            with self._lock:
+                self._memory[key] = module
+            self._store_to_disk(key, module)
             return module
-        if self.disk_dir:
-            path = os.path.join(self.disk_dir, key + ".mod")
-            if os.path.exists(path):
-                try:
-                    with open(path, "rb") as fh:
-                        version, module = pickle.load(fh)
-                    if version == _FORMAT_VERSION:
-                        self._memory[key] = module
-                        self.hits += 1
-                        return module
-                except Exception:
-                    pass  # corrupt/legacy entry: recompile below
-        self.misses += 1
-        module = nvcc(source, defines=defines, arch=arch,
-                      opt_level=opt_level, headers=headers)
-        self._memory[key] = module
-        if self.disk_dir:
-            path = os.path.join(self.disk_dir, key + ".mod")
-            tmp = path + f".tmp{os.getpid()}"
-            try:
-                with open(tmp, "wb") as fh:
-                    pickle.dump((_FORMAT_VERSION, module), fh,
-                                protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)
-            except OSError:
-                pass
+        finally:
+            with self._lock:
+                self._in_flight.pop(key, None)
+            latch.set()
+
+    # -- disk layer ----------------------------------------------------
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, key + ".mod")
+
+    def _load_from_disk(self, key: str) -> Optional[CompiledModule]:
+        if not self.disk_dir:
+            return None
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            return None
+        injector = fault_hooks.ACTIVE
+        if injector is not None:
+            raw = injector.corrupt_bytes("cache.corrupt", raw,
+                                         detail=key[:16])
+        try:
+            version, module = pickle.loads(raw)
+        except Exception:
+            self._quarantine(path)
+            return None
+        if version != _FORMAT_VERSION or \
+                not isinstance(module, CompiledModule):
+            self._quarantine(path)
+            return None
         return module
 
+    def _store_to_disk(self, key: str, module: CompiledModule) -> None:
+        if not self.disk_dir:
+            return
+        path = self._disk_path(key)
+        tmp = path + f".tmp{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump((_FORMAT_VERSION, module), fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def _quarantine(self, path: str) -> None:
+        """Move a bad entry aside so it is never unpickled again."""
+        with self._lock:
+            self.corrupt += 1
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """hits / misses / corrupt counters, read atomically."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "corrupt": self.corrupt}
+
     def clear(self) -> None:
-        self._memory.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+            self.corrupt = 0
 
 
 #: Process-wide default cache used by Pipeline unless one is injected.

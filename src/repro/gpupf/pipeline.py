@@ -12,18 +12,38 @@ did.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.faults.errors import FaultError
+from repro.faults.retry import RetryPolicy, retry_call
 from repro.gpupf import actions as act
 from repro.gpupf import params as par
 from repro.gpupf import resources as res
 from repro.gpupf.cache import DEFAULT_CACHE, KernelCache
+from repro.kernelc.compiler import CompileError
 
 
 class PipelineError(Exception):
     """Specification errors (duplicate names, unknown references...)."""
+
+
+class PipelineFaultError(PipelineError):
+    """A fault exhausted the resilience budget; names the fault site.
+
+    Raised instead of the underlying :class:`~repro.faults.FaultError`
+    once retries (and, for specialized compiles, the RE fallback) are
+    spent — so pipeline callers always see a typed, diagnosable error
+    that records *where* the system gave up.
+    """
+
+    def __init__(self, message: str, site: str = "unknown",
+                 phase: str = ""):
+        super().__init__(message)
+        self.site = site
+        self.phase = phase
 
 
 class Pipeline:
@@ -32,7 +52,8 @@ class Pipeline:
     def __init__(self, gpu, name: str = "pipeline",
                  cache: Optional[KernelCache] = None,
                  verbose: bool = False,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 retry: Optional[RetryPolicy] = None):
         self.gpu = gpu
         self.name = name
         self.cache = cache or DEFAULT_CACHE
@@ -40,6 +61,8 @@ class Pipeline:
         #: Simulator engine for every kernel_exec of this pipeline
         #: (None = process default); per-action ``engine=`` overrides.
         self.engine = engine
+        #: Retry budget for transient compile/launch faults.
+        self.retry = retry or RetryPolicy()
         self.params: Dict[str, par.Parameter] = {}
         self.resources: Dict[str, res.Resource] = {}
         self.actions: Dict[str, act.Action] = {}
@@ -48,6 +71,13 @@ class Pipeline:
         self.iteration = 0
         self.log: List[str] = []
         self.refresh_count = 0
+        #: Fault/retry/degradation accounting (see health_report()).
+        self.health: Dict[str, object] = {
+            "faults": Counter(),    # fault site -> observed count
+            "retries": Counter(),   # fault site -> retried count
+            "degraded": {},         # module name -> reason
+            "fallbacks": 0,         # SK -> RE degradations taken
+        }
 
     # -- logging -----------------------------------------------------
 
@@ -55,6 +85,105 @@ class Pipeline:
         self.log.append(message)
         if self.verbose:
             print(f"[{self.name}] {message}")
+
+    # -- resilience ----------------------------------------------------
+
+    def _record_fault(self, site: str, where: str) -> None:
+        self.health["faults"][site] += 1
+        self._log(f"fault: {site} at {where}")
+
+    def _record_retry(self, site: str, where: str, attempt: int,
+                      delay: float) -> None:
+        # A retried attempt is also an observed fault: both counters
+        # move so health_report() never under-reports fault traffic.
+        self.health["faults"][site] += 1
+        self.health["retries"][site] += 1
+        self._log(f"retry: {where} attempt {attempt} failed at {site}; "
+                  f"backing off {delay * 1e3:.2f} ms")
+
+    @staticmethod
+    def _re_defines(defines: Mapping[str, object]) -> Dict[str, object]:
+        """Strip specialization from a -D set: the RE regime.
+
+        Drops every ``CT_*`` toggle and its companion value macro;
+        structural defines (buffer caps and the like) survive, since
+        removing them could change results.
+        """
+        return {name: value for name, value in defines.items()
+                if not name.startswith("CT_")
+                and f"CT_{name}" not in defines}
+
+    def _compile_module(self, mres: "res.ModuleResource",
+                        arch: str) -> tuple:
+        """Compile with the full degradation ladder.
+
+        SK compile -> bounded retry -> recompile as RE (no
+        specialization defines, same results, recorded as degraded) ->
+        :class:`PipelineFaultError`.  Returns ``(module, degraded)``.
+        """
+        defines = mres.resolved_defines()
+
+        def compile_with(defs):
+            def attempt():
+                return self.cache.compile(
+                    mres.source, defines=defs, arch=arch,
+                    opt_level=mres.opt_level, headers=mres.headers)
+            return retry_call(
+                attempt, policy=self.retry,
+                on_retry=lambda exc, att, delay: self._record_retry(
+                    getattr(exc, "site", "nvcc.compile"), mres.name,
+                    att, delay))
+
+        try:
+            module, _ = compile_with(defines)
+            return module, False
+        except (CompileError, FaultError) as exc:
+            site = getattr(exc, "site", "nvcc.compile")
+            self._record_fault(site, f"module {mres.name}")
+            fallback = self._re_defines(defines)
+            if fallback == dict(defines):
+                raise PipelineFaultError(
+                    f"module {mres.name!r}: compile failed at fault "
+                    f"site {site} after {self.retry.max_attempts} "
+                    f"attempts: {exc}", site=site,
+                    phase="refresh") from exc
+            self._log(f"refresh: module {mres.name} SK compile failed "
+                      f"({type(exc).__name__}); degrading to RE")
+            try:
+                module, _ = compile_with(fallback)
+            except (CompileError, FaultError) as exc2:
+                site2 = getattr(exc2, "site", "nvcc.compile")
+                self._record_fault(site2, f"module {mres.name} (RE)")
+                raise PipelineFaultError(
+                    f"module {mres.name!r}: SK compile and RE fallback "
+                    f"both failed at fault site {site2}: {exc2}",
+                    site=site2, phase="refresh") from exc2
+            reason = (f"SK compile failed at {site}; running RE "
+                      "variant (bit-identical results, unspecialized "
+                      "performance)")
+            self.health["fallbacks"] += 1
+            self.health["degraded"][mres.name] = reason
+            self._log(f"refresh: module {mres.name} DEGRADED to RE "
+                      f"({site})")
+            return module, True
+
+    def health_report(self) -> Dict[str, object]:
+        """Everything that faulted, retried, or degraded, by site.
+
+        The error-taxonomy counterpart to :meth:`timing_report`: chaos
+        runs and production monitors read this to verify no fault went
+        unobserved.
+        """
+        return {
+            "pipeline": self.name,
+            "faults": dict(self.health["faults"]),
+            "retries": dict(self.health["retries"]),
+            "degraded": dict(self.health["degraded"]),
+            "fallbacks": self.health["fallbacks"],
+            "cache": self.cache.stats(),
+            "refreshes": self.refresh_count,
+            "iterations": self.iteration,
+        }
 
     # -- registration helpers ------------------------------------------
 
@@ -194,12 +323,27 @@ class Pipeline:
         started = time.perf_counter()
         touched = 0
         for resource in self.resources.values():
-            if resource.refresh():
+            try:
+                changed = resource.refresh()
+            except PipelineError:
+                raise
+            except FaultError as exc:
+                # Typed faults that no resilience layer absorbed
+                # (allocation OOM, mostly) surface as PipelineError
+                # subclasses naming the site — never a bare Exception.
+                self._record_fault(exc.site, f"resource {resource.name}")
+                raise PipelineFaultError(
+                    f"refresh: resource {resource.name!r} failed at "
+                    f"fault site {exc.site}: {exc}", site=exc.site,
+                    phase="refresh") from exc
+            if changed:
                 touched += 1
                 detail = ""
                 if isinstance(resource, res.ModuleResource):
                     state = "cache hit" if resource.cache_hit \
                         else "compiled"
+                    if resource.degraded:
+                        state += ", degraded to RE"
                     detail = (f" [{state}, "
                               f"{resource.last_compile_seconds * 1e3:.2f}"
                               " ms]")

@@ -86,6 +86,8 @@ class ModuleResource(Resource):
         self.module = None
         self.last_compile_seconds = 0.0
         self.cache_hit = False
+        #: True when the last realize fell back to the RE variant.
+        self.degraded = False
         for value in self.defines.values():
             if isinstance(value, Parameter):
                 self.depends_on(value)
@@ -99,11 +101,13 @@ class ModuleResource(Resource):
         arch = _resolve(self.arch) if self.arch is not None \
             else self.pipeline.gpu.spec.arch
         cache = self.pipeline.cache
-        before = (cache.hits, cache.misses)
-        self.module = cache.compile(
-            self.source, defines=self.resolved_defines(), arch=arch,
-            opt_level=self.opt_level, headers=self.headers)
-        self.cache_hit = cache.hits > before[0]
+        before = cache.stats()["hits"]
+        # The pipeline owns the resilience ladder: retry transient
+        # compile faults, degrade SK -> RE on hard failure, and only
+        # then raise a typed PipelineFaultError.
+        self.module, self.degraded = \
+            self.pipeline._compile_module(self, arch)
+        self.cache_hit = cache.stats()["hits"] > before
         self.last_compile_seconds = self.module.compile_seconds
 
 

@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults import hooks as fault_hooks
 from repro.gpusim import coalescing
 from repro.gpusim.executor import (WARP, BlockStats, KernelPlan,
                                    PlannedInstr, SimError, TextureBinding,
@@ -110,7 +111,14 @@ def run_blocks_batched(kernel: IRKernel, device: DeviceSpec,
                                           DEFAULT_BATCH_BLOCKS))
     batch_blocks = max(1, batch_blocks)
     stats: List[BlockStats] = []
+    injector = fault_hooks.ACTIVE
     for start in range(0, len(indices), batch_blocks):
+        if injector is not None:
+            # Fault site: watchdog kill between gang batches.  Earlier
+            # batches already wrote device memory — retrying callers
+            # must snapshot/restore around the whole launch.
+            injector.check("launch.watchdog",
+                           detail=f"{kernel.name}@batch{start}")
         batch = _Batch(kernel, device, gmem, cmem, args,
                        indices[start:start + batch_blocks], block_dim,
                        grid_dim, dynamic_smem, plan, textures or {})

@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.faults import hooks as fault_hooks
+from repro.faults.errors import ECCError
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
 from repro.gpusim.engine import resolve_engine, run_blocks_batched
 from repro.gpusim.executor import (BlockExecutor, BlockStats, SimError,
@@ -77,18 +79,21 @@ class GPU:
     # -- memory API ------------------------------------------------
 
     def malloc(self, nbytes: int) -> int:
+        injector = fault_hooks.ACTIVE
+        if injector is not None:
+            injector.check("memory.oom", detail=f"{nbytes}B")
         return self.gmem.alloc(nbytes)
 
     def alloc_array(self, array: np.ndarray) -> int:
         """Allocate and copy a host array to the device."""
-        addr = self.gmem.alloc(array.nbytes)
+        addr = self.malloc(array.nbytes)
         self.gmem.write(addr, array)
         return addr
 
     def zeros(self, count: int, dtype) -> int:
         """Allocate a zero-initialized typed buffer."""
         dtype = np.dtype(dtype)
-        addr = self.gmem.alloc(count * dtype.itemsize)
+        addr = self.malloc(count * dtype.itemsize)
         self.gmem.write(addr, np.zeros(count, dtype=dtype))
         return addr
 
@@ -210,6 +215,11 @@ class GPU:
         textures = {name: binding
                     for (mod_id, name), binding in self._textures.items()
                     if mod_id == id(kernel.module)}
+        injector = fault_hooks.ACTIVE
+        if injector is not None:
+            # Fault site: the driver rejects the launch outright
+            # (before any block executes, so no side effects exist).
+            injector.check("launch.fail", detail=kernel.name)
         if engine == "batched" and len(indices) > 1:
             stats = run_blocks_batched(
                 kernel.ir, self.spec, self.gmem, cmem, arg_map,
@@ -219,12 +229,31 @@ class GPU:
         else:
             stats = []
             for bidx in indices:
+                if injector is not None:
+                    # Fault site: watchdog kill mid-launch.  Blocks
+                    # executed so far have already written device
+                    # memory — retrying callers must snapshot/restore.
+                    injector.check("launch.watchdog",
+                                   detail=f"{kernel.name}@{bidx}")
                 executor = BlockExecutor(
                     kernel.ir, self.spec, self.gmem, cmem, arg_map,
                     block_idx=bidx, block_dim=block3, grid_dim=grid3,
                     dynamic_smem=dynamic_smem, plan=plan,
                     textures=textures)
                 stats.append(executor.run())
+        if injector is not None:
+            # Fault site: transient ECC bit flip surfacing at launch
+            # completion.  The flip mutates simulated DRAM for real,
+            # then raises as a *detected* uncorrectable error, the way
+            # ECC hardware fails a kernel whose data went bad.
+            flipped = injector.maybe_flip(
+                "memory.bitflip",
+                self.gmem.data[:self.gmem.allocated_bytes],
+                detail=kernel.name)
+            if flipped is not None:
+                raise ECCError(
+                    f"uncorrectable ECC error during {kernel.name!r} "
+                    f"(device byte offset {flipped})")
         timing = kernel_timing(self.spec, occ, total_blocks, stats)
         return LaunchResult(timing=timing, occupancy=occ, grid=grid3,
                             block=block3, blocks_executed=len(indices),

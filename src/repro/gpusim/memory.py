@@ -53,6 +53,32 @@ class GlobalMemory:
         """cudaFree.  The bump allocator does not reuse space."""
         self.allocations.pop(addr, None)
 
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes under the bump cursor (the live device footprint)."""
+        return self._cursor
+
+    def snapshot(self):
+        """Copy-out of every allocated byte plus allocator state.
+
+        The resilience layer snapshots before a risky launch so a
+        watchdog kill or detected ECC error mid-execution can be rolled
+        back and the launch retried from a bit-identical starting
+        state.
+        """
+        return (self.data[:self._cursor].copy(), self._cursor,
+                dict(self.allocations))
+
+    def restore(self, snap) -> None:
+        """Roll back to a :meth:`snapshot` (never reallocates views)."""
+        data, cursor, allocations = snap
+        # Writes made past the snapshot's cursor (by allocations that
+        # postdate it) are wiped along with the rollback.
+        self.data[cursor:self._cursor] = 0
+        self.data[:cursor] = data
+        self._cursor = cursor
+        self.allocations = dict(allocations)
+
     def reset(self) -> None:
         """Release everything (between benchmark problems)."""
         self._cursor = 0

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+from repro.faults import hooks as fault_hooks
 from repro.kernelc import typesys as T
 from repro.kernelc.codegen import CodeGen, CodegenError, CodegenOptions
 from repro.kernelc.ir import IRKernel, IRModule
@@ -122,6 +123,14 @@ def nvcc(source: str,
     if arch not in ARCH_MACROS:
         raise CompileError(f"unknown arch {arch!r}; expected one of "
                            f"{sorted(ARCH_MACROS)}")
+    injector = fault_hooks.ACTIVE
+    if injector is not None:
+        # Fault sites: a crashed/garbage nvcc invocation and a hung one.
+        # The detail string carries the -D names so plans can target
+        # only specialized (CT_*) compiles.
+        detail = ",".join(sorted(defines or {}))
+        injector.check("nvcc.compile", detail=detail)
+        injector.check("nvcc.timeout", detail=detail)
     started = time.perf_counter()
     all_defines: Dict[str, object] = {"__CUDA_ARCH__": ARCH_MACROS[arch],
                                       "__CUDACC__": 1}

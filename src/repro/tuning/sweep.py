@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
@@ -43,6 +44,12 @@ class Sweeper:
         #: call: hit/miss deltas for the launch-plan cache and the
         #: batched engine's gang-prototype cache.  A healthy sweep over
         #: one kernel shows ~1 miss and hits for every other launch.
+        #:
+        #: Caveat: the underlying counters are *process-wide*, so when
+        #: two sweeps run concurrently each window also sees the other
+        #: sweep's traffic — every report stays bounded by the combined
+        #: global delta, but per-sweep attribution is skewed.  Run
+        #: sweeps sequentially when exact attribution matters.
         self.cache_report: Dict[str, int] = {}
 
     def _eval(self, config: dict) -> SweepRecord:
@@ -74,6 +81,24 @@ class Sweeper:
             self.cache_report = {k: after[k] - before[k] for k in after}
 
 
+    def error_taxonomy(self) -> Dict[str, int]:
+        """Invalid records grouped by error class, with counts.
+
+        The sweep-level half of the observability story: together with
+        ``Pipeline.health_report()`` it makes every failed
+        configuration diagnosable by *kind* rather than by reading N
+        raw message strings.
+        """
+        return dict(Counter(_error_class(r.error)
+                            for r in self.records if not r.valid))
+
+
+def _error_class(error: str) -> str:
+    """``"SimError: bad launch"`` -> ``"SimError"``."""
+    head = error.split(":", 1)[0].strip()
+    return head or "UnknownError"
+
+
 def _cache_counters() -> Dict[str, int]:
     """Current simulator cache counters, namespaced per cache."""
     from repro.gpusim import gang_cache_stats, plan_cache_stats
@@ -94,8 +119,20 @@ def best_record(records: List[SweepRecord]) -> SweepRecord:
     """
     valid = [r for r in records if r.valid]
     if not valid:
-        raise ValueError("no configuration in the sweep could run: "
-                         + "; ".join(r.error for r in records[:3]))
+        # Group by error class so an all-invalid sweep is diagnosable
+        # at a glance: every distinct failure kind appears, counted,
+        # with one example message each.
+        groups: Dict[str, List[object]] = {}
+        for r in records:
+            entry = groups.setdefault(_error_class(r.error),
+                                      [0, r.error])
+            entry[0] += 1
+        detail = "; ".join(
+            f"{cls} x{count} (e.g. {example})"
+            for cls, (count, example) in sorted(groups.items()))
+        raise ValueError(
+            f"no configuration in the sweep could run ({len(records)} "
+            f"tried): {detail}")
     return min(valid, key=lambda r: (r.seconds, r.key()))
 
 

@@ -137,6 +137,89 @@ class TestCache:
         assert m1 is not m2
         assert cache.misses == 2
 
+    def test_stats_reports_corrupt_counter(self):
+        cache = KernelCache()
+        assert cache.stats() == {"hits": 0, "misses": 0, "corrupt": 0}
+
+    def test_concurrent_same_key_compiles_once(self):
+        # Single-flight: 8 threads racing one key produce exactly one
+        # nvcc run; the other 7 wait on the latch and take hits.
+        import threading
+        cache = KernelCache()
+        barrier = threading.Barrier(8)
+        modules = []
+
+        def worker():
+            barrier.wait()
+            modules.append(cache.compile(SCALE_SRC,
+                                         defines={"CT_FACTOR": 1,
+                                                  "FACTOR": 3}))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(modules) == 8
+        assert all(m is modules[0] for m in modules)
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 7
+
+    def test_concurrent_distinct_keys_all_compile(self):
+        import threading
+        cache = KernelCache()
+        barrier = threading.Barrier(6)
+        results = {}
+
+        def worker(factor):
+            barrier.wait()
+            results[factor] = cache.compile(
+                SCALE_SRC, defines={"CT_FACTOR": 1, "FACTOR": factor})
+
+        threads = [threading.Thread(target=worker, args=(f,))
+                   for f in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 6
+        assert len({id(m) for m in results.values()}) == 6
+        assert cache.stats()["misses"] == 6
+
+    def test_corrupt_disk_entry_quarantined(self, gpu, tmp_path):
+        cache1 = KernelCache(disk_dir=str(tmp_path))
+        cache1.compile(SCALE_SRC)
+        (entry,) = tmp_path.glob("*.mod")
+        entry.write_bytes(b"\x00garbage" * 4)
+
+        cache2 = KernelCache(disk_dir=str(tmp_path))
+        module = cache2.compile(SCALE_SRC)
+        assert module is not None
+        stats = cache2.stats()
+        assert stats["corrupt"] == 1
+        assert stats["misses"] == 1  # recompiled after quarantine
+        assert list(tmp_path.glob("*.mod.corrupt"))
+        # The entry was rewritten in place: a third cache loads clean.
+        cache3 = KernelCache(disk_dir=str(tmp_path))
+        cache3.compile(SCALE_SRC)
+        assert cache3.stats() == {"hits": 1, "misses": 0, "corrupt": 0}
+
+    def test_legacy_version_entry_quarantined(self, gpu, tmp_path):
+        import pickle
+        cache1 = KernelCache(disk_dir=str(tmp_path))
+        module = cache1.compile(SCALE_SRC)
+        (entry,) = tmp_path.glob("*.mod")
+        # A structurally valid pickle from an older format version must
+        # be quarantined, not unpickled into the running process.
+        entry.write_bytes(pickle.dumps((1, module)))
+
+        cache2 = KernelCache(disk_dir=str(tmp_path))
+        cache2.compile(SCALE_SRC)
+        stats = cache2.stats()
+        assert stats["corrupt"] == 1 and stats["misses"] == 1
+        assert list(tmp_path.glob("*.mod.corrupt"))
+
 
 class TestSchedulesAndSteps:
     def test_schedule_period_and_delay(self, gpu):

@@ -34,6 +34,81 @@ class TestSweeper:
             best_record([SweepRecord(config={}, seconds=1.0,
                                      valid=False, error="x")])
 
+    def test_best_of_all_invalid_groups_every_error_class(self):
+        records = [
+            SweepRecord(config={"n": 1}, seconds=1.0, valid=False,
+                        error="SimError: grid too large"),
+            SweepRecord(config={"n": 2}, seconds=1.0, valid=False,
+                        error="SimError: zero occupancy"),
+            SweepRecord(config={"n": 3}, seconds=1.0, valid=False,
+                        error="CompileError: parse error"),
+        ]
+        with pytest.raises(ValueError) as err:
+            best_record(records)
+        message = str(err.value)
+        # Every distinct error class appears, counted, with an example.
+        assert "3 tried" in message
+        assert "SimError x2" in message
+        assert "CompileError x1" in message
+        assert "parse error" in message
+
+    def test_error_taxonomy_counts_by_class(self):
+        def run(config):
+            if config["n"] == 1:
+                raise RuntimeError("boom")
+            if config["n"] == 2:
+                raise ValueError("bad shape")
+            return SweepRecord(config=config, seconds=1.0)
+
+        sweeper = Sweeper(run)
+        sweeper.sweep(grid_configs(n=[1, 2, 3, 1]))
+        assert sweeper.error_taxonomy() == {"RuntimeError": 2,
+                                            "ValueError": 1}
+
+    def test_cache_report_attribution_under_concurrent_sweeps(self):
+        # The launch-plan/gang counters are process-wide, so two sweeps
+        # overlapping in time each see some of the other's traffic.
+        # The documented guarantee: every per-sweep report stays
+        # non-negative and bounded by the combined global delta.
+        import threading
+
+        from repro.tuning.sweep import _cache_counters
+        from repro.apps.piv import (PIVConfig, PIVProblem, PIVProcessor)
+        from repro.gpusim import GPU
+        from repro.gpupf import KernelCache
+
+        problem = PIVProblem("cc", 40, 40, mask=8, offs=3)
+        img_a, img_b = particle_image_pair(40, 40, seed=1)
+        barrier = threading.Barrier(2)
+
+        def run(config):
+            barrier.wait()  # force the two sweeps to overlap
+            proc = PIVProcessor(problem,
+                                PIVConfig(rb=config["rb"], threads=32),
+                                gpu=GPU(TESLA_C2070,
+                                        memory_bytes=4 << 20),
+                                cache=KernelCache())
+            result = proc.run(img_a, img_b)
+            return SweepRecord(config=config, seconds=1.0,
+                               valid=result.scores is not None)
+
+        sweepers = [Sweeper(run), Sweeper(run)]
+        before = _cache_counters()
+        threads = [threading.Thread(
+            target=lambda s=s: s.sweep(grid_configs(rb=[2])))
+            for s in sweepers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        global_delta = {k: v - before[k]
+                        for k, v in _cache_counters().items()}
+        for sweeper in sweepers:
+            assert all(r.valid for r in sweeper.records)
+            for key, value in sweeper.cache_report.items():
+                assert 0 <= value <= global_delta[key], \
+                    f"{key}: per-sweep {value} vs global {global_delta}"
+
 
 class TestGrids:
     def _records(self):
