@@ -3,4 +3,15 @@
 * :mod:`repro.apps.template_matching` — large template matching (§5.1)
 * :mod:`repro.apps.piv` — particle image velocimetry (§5.2)
 * :mod:`repro.apps.backprojection` — cone-beam backprojection (§5.3)
+
+:mod:`repro.apps.harness` wraps all three in one picklable run
+protocol (:class:`ProblemSpec` / :class:`RunRequest` /
+:class:`RunResult`) for process-based sweeps.
 """
+
+from repro.apps.harness import (APP_IDS, AppHarness, HARNESSES,
+                                ProblemSpec, RunRequest, RunResult,
+                                get_harness, run_request)
+
+__all__ = ["APP_IDS", "AppHarness", "HARNESSES", "ProblemSpec",
+           "RunRequest", "RunResult", "get_harness", "run_request"]

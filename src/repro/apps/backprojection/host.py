@@ -10,9 +10,10 @@ import numpy as np
 
 from repro.apps.backprojection import kernels as K
 from repro.data.phantom import ConeBeamGeometry
-from repro.gpupf.cache import DEFAULT_CACHE, KernelCache
-from repro.gpusim import GPU, DeviceSpec, TESLA_C2070
+from repro.gpupf.cache import KernelCache
+from repro.gpusim import GPU, DeviceSpec
 from repro.kernelc.templates import specialization_defines
+from repro.runtime.context import ExecutionContext, current_context
 
 ZB_MAX = 8
 MAX_PROJ = 128
@@ -80,15 +81,19 @@ class Backprojector:
 
     def __init__(self, problem: BPProblem,
                  config: Optional[BPConfig] = None,
-                 device: DeviceSpec = TESLA_C2070,
+                 device: Optional[DeviceSpec] = None,
                  gpu: Optional[GPU] = None,
-                 cache: Optional[KernelCache] = None):
+                 cache: Optional[KernelCache] = None,
+                 context: Optional[ExecutionContext] = None):
         if problem.n_proj > MAX_PROJ:
             raise ValueError(f"n_proj exceeds MAX_PROJ={MAX_PROJ}")
+        self.ctx = (context or getattr(gpu, "ctx", None)
+                    or current_context())
         self.problem = problem
         self.config = config or BPConfig()
-        self.gpu = gpu or GPU(device)
-        self.cache = cache or DEFAULT_CACHE
+        self.gpu = gpu or GPU(device or self.ctx.device,
+                              context=self.ctx)
+        self.cache = cache or self.ctx.kernel_cache
         self.module, self.kernel = self._compile()
 
     def _compile(self):

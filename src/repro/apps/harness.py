@@ -1,0 +1,264 @@
+"""Shared declarative run protocol for the three paper applications.
+
+Every app host (PIV, template matching, backprojection) is wrapped in
+an :class:`AppHarness` that speaks one picklable vocabulary:
+
+* :class:`ProblemSpec` — *what* to run: the app id, the app's frozen
+  problem dataclass, a device registry key, and the RNG seed from
+  which the harness regenerates the input arrays deterministically.
+  Shipping seeds instead of arrays keeps payloads tiny and process
+  workers bit-identical to inline runs.
+* :class:`RunRequest` — a spec plus the app's frozen config dataclass
+  and an optional :class:`~repro.faults.FaultPlan`; everything a
+  worker needs to reproduce one evaluation from scratch.
+* :class:`RunResult` — timing, register/occupancy metadata, the
+  functional output array (when requested), the run context's cache
+  counters, and the fault-injector summary.
+
+:func:`run_request` is the single entry point: it builds a fresh
+:class:`~repro.runtime.context.ExecutionContext` for the request's
+device, re-installs the seeded fault injector from the shipped plan
+(the chaos-under-process-pool contract — hooks are context state and
+never survive into a spawned worker by themselves), and executes under
+that context.  Identical requests therefore produce bit-identical
+results whether evaluated inline, on a thread, or in a spawned
+subprocess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.backprojection import Backprojector, BPConfig, BPProblem
+from repro.apps.piv import PIVConfig, PIVProblem, PIVProcessor
+from repro.apps.template_matching import (MatchConfig, MatchProblem,
+                                          TemplateMatcher)
+from repro.data import particle_image_pair, template_sequence
+from repro.faults.plan import FaultPlan
+from repro.gpusim import DEVICES, GPU
+from repro.runtime.context import (ExecutionContext, current_context,
+                                   using_context)
+
+APP_IDS = ("piv", "template_matching", "backprojection")
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """What to run: app id + problem shape + input seed + device.
+
+    ``problem`` is the app's own frozen problem dataclass
+    (:class:`PIVProblem` / :class:`MatchProblem` / :class:`BPProblem`);
+    ``device`` is a key of :data:`repro.gpusim.DEVICES`.  The spec is
+    fully picklable and carries no arrays: inputs regenerate from
+    ``seed``.
+    """
+
+    app: str
+    problem: object
+    seed: int = 0
+    device: str = "c2070"
+    memory_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self):
+        if self.app not in APP_IDS:
+            raise ValueError(f"unknown app {self.app!r}; "
+                             f"expected one of {APP_IDS}")
+        if self.device not in DEVICES:
+            raise ValueError(f"unknown device {self.device!r}; "
+                             f"expected one of {tuple(DEVICES)}")
+
+    def device_spec(self):
+        return DEVICES[self.device]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One evaluation, self-contained and picklable.
+
+    ``config`` is the app's frozen config dataclass.  ``fault_plan``
+    (not an injector — injectors hold locks and are process-local) is
+    re-installed inside whatever worker executes the request.
+    """
+
+    spec: ProblemSpec
+    config: object
+    fault_plan: Optional[FaultPlan] = None
+
+
+@dataclass
+class RunResult:
+    """What one evaluation produced (picklable; arrays ship verbatim)."""
+
+    app: str
+    seconds: float
+    transfer_seconds: float = 0.0
+    reg_count: int = 0
+    occupancy: float = 0.0
+    output: Optional[np.ndarray] = None
+    #: The run context's plan/gang cache counters (exact, per-run).
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: site -> fired count from the run's injector (empty: no faults).
+    faults: Dict[str, int] = field(default_factory=dict)
+
+    def same_output(self, other: "RunResult") -> bool:
+        """Bit-identical functional output (both-None counts)."""
+        if self.output is None or other.output is None:
+            return self.output is None and other.output is None
+        return (self.output.shape == other.output.shape
+                and self.output.dtype == other.output.dtype
+                and bool(np.array_equal(self.output, other.output)))
+
+
+class AppHarness:
+    """Declarative adapter from the run protocol onto one app host.
+
+    Subclasses define ``app`` and the three hooks; everything above
+    (context setup, fault installation, pickling) is shared.
+    """
+
+    app: str = ""
+
+    def make_inputs(self, spec: ProblemSpec):
+        """Regenerate the input arrays for *spec* (pure in the seed)."""
+        raise NotImplementedError
+
+    def sweep_config(self, axes: Mapping[str, object], *,
+                     specialize: bool = True, sample_blocks: int = 2,
+                     functional: bool = False,
+                     engine: Optional[str] = None):
+        """Translate one sweep-grid point into the app's config."""
+        raise NotImplementedError
+
+    def execute(self, spec: ProblemSpec, config,
+                context: Optional[ExecutionContext] = None) -> RunResult:
+        """Run one (spec, config) evaluation under *context*."""
+        raise NotImplementedError
+
+    def _gpu(self, spec: ProblemSpec,
+             ctx: ExecutionContext) -> GPU:
+        return GPU(spec.device_spec(), memory_bytes=spec.memory_bytes,
+                   context=ctx)
+
+
+class PIVHarness(AppHarness):
+    app = "piv"
+
+    def make_inputs(self, spec: ProblemSpec):
+        return particle_image_pair(spec.problem.img_h,
+                                   spec.problem.img_w, seed=spec.seed)
+
+    def sweep_config(self, axes, *, specialize=True, sample_blocks=2,
+                     functional=False, engine=None) -> PIVConfig:
+        return PIVConfig(variant=axes.get("variant", "tree"),
+                         rb=axes["rb"], threads=axes["threads"],
+                         specialize=specialize, functional=functional,
+                         sample_blocks=sample_blocks, engine=engine)
+
+    def execute(self, spec, config, context=None) -> RunResult:
+        ctx = context or current_context()
+        img_a, img_b = self.make_inputs(spec)
+        proc = PIVProcessor(spec.problem, config,
+                            gpu=self._gpu(spec, ctx), context=ctx)
+        r = proc.run(img_a, img_b)
+        return RunResult(app=self.app, seconds=r.kernel_seconds,
+                         transfer_seconds=r.transfer_seconds,
+                         reg_count=r.reg_count, occupancy=r.occupancy,
+                         output=r.scores)
+
+
+class TemplateMatchingHarness(AppHarness):
+    app = "template_matching"
+
+    def make_inputs(self, spec: ProblemSpec):
+        p = spec.problem
+        frames, template, _ = template_sequence(
+            p.frame_h, p.frame_w, p.tmpl_h, p.tmpl_w, p.shift_h,
+            p.shift_w, n_frames=1, seed=spec.seed)
+        return frames[0], template
+
+    def sweep_config(self, axes, *, specialize=True, sample_blocks=2,
+                     functional=False, engine=None) -> MatchConfig:
+        tile_w, tile_h = axes["tile"]
+        return MatchConfig(tile_w=tile_w, tile_h=tile_h,
+                           threads=axes["threads"],
+                           specialize=specialize, functional=functional,
+                           sample_blocks=sample_blocks, engine=engine)
+
+    def execute(self, spec, config, context=None) -> RunResult:
+        ctx = context or current_context()
+        frame, template = self.make_inputs(spec)
+        matcher = TemplateMatcher(spec.problem, template, config,
+                                  gpu=self._gpu(spec, ctx), context=ctx)
+        r = matcher.match(frame)
+        return RunResult(app=self.app, seconds=r.kernel_seconds,
+                         transfer_seconds=r.transfer_seconds,
+                         reg_count=matcher.numerator_reg_count(),
+                         output=r.ncc if config.functional else None)
+
+
+class BackprojectionHarness(AppHarness):
+    app = "backprojection"
+
+    def make_inputs(self, spec: ProblemSpec):
+        p = spec.problem
+        rng = np.random.default_rng(spec.seed)
+        return rng.random((p.n_proj, p.det_v,
+                           p.det_u)).astype(np.float32)
+
+    def sweep_config(self, axes, *, specialize=True, sample_blocks=2,
+                     functional=False, engine=None) -> BPConfig:
+        block_x, block_y = axes["block"]
+        return BPConfig(block_x=block_x, block_y=block_y,
+                        zb=axes["zb"], specialize=specialize,
+                        functional=functional,
+                        sample_blocks=sample_blocks, engine=engine)
+
+    def execute(self, spec, config, context=None) -> RunResult:
+        ctx = context or current_context()
+        projections = self.make_inputs(spec)
+        bp = Backprojector(spec.problem, config,
+                           gpu=self._gpu(spec, ctx), context=ctx)
+        r = bp.run(projections)
+        return RunResult(app=self.app, seconds=r.kernel_seconds,
+                         transfer_seconds=r.transfer_seconds,
+                         reg_count=r.reg_count, occupancy=r.occupancy,
+                         output=r.volume)
+
+
+HARNESSES: Dict[str, AppHarness] = {
+    h.app: h for h in (PIVHarness(), TemplateMatchingHarness(),
+                       BackprojectionHarness())}
+
+
+def get_harness(app: str) -> AppHarness:
+    try:
+        return HARNESSES[app]
+    except KeyError:
+        raise ValueError(f"unknown app {app!r}; expected one of "
+                         f"{tuple(HARNESSES)}") from None
+
+
+def run_request(request: RunRequest) -> RunResult:
+    """Evaluate one :class:`RunRequest` in a fresh private context.
+
+    This is the function process workers call after unpickling: the
+    context (and with it the kernel cache, plan/gang caches, and the
+    re-seeded fault injector) is rebuilt from the request alone, so the
+    result cannot depend on which process — or thread — ran it.
+    """
+    spec = request.spec
+    harness = get_harness(spec.app)
+    ctx = ExecutionContext(device=spec.device_spec(),
+                           name=f"run:{spec.app}")
+    injector = None
+    if request.fault_plan is not None:
+        injector = ctx.install_faults(request.fault_plan)
+    with using_context(ctx):
+        result = harness.execute(spec, request.config, context=ctx)
+    result.counters = ctx.cache_counters()
+    if injector is not None:
+        result.faults = injector.summary()
+    return result

@@ -15,9 +15,10 @@ import numpy as np
 
 from repro.apps.piv import kernels as K
 from repro.apps.piv.reference import PIVProblem
-from repro.gpupf.cache import DEFAULT_CACHE, KernelCache
-from repro.gpusim import GPU, DeviceSpec, TESLA_C2070
+from repro.gpupf.cache import KernelCache
+from repro.gpusim import GPU, DeviceSpec
 from repro.kernelc.templates import specialization_defines
+from repro.runtime.context import ExecutionContext, current_context
 
 RB_MAX = 16
 
@@ -62,13 +63,17 @@ class PIVProcessor:
 
     def __init__(self, problem: PIVProblem,
                  config: Optional[PIVConfig] = None,
-                 device: DeviceSpec = TESLA_C2070,
+                 device: Optional[DeviceSpec] = None,
                  gpu: Optional[GPU] = None,
-                 cache: Optional[KernelCache] = None):
+                 cache: Optional[KernelCache] = None,
+                 context: Optional[ExecutionContext] = None):
+        self.ctx = (context or getattr(gpu, "ctx", None)
+                    or current_context())
         self.problem = problem
         self.config = config or PIVConfig()
-        self.gpu = gpu or GPU(device)
-        self.cache = cache or DEFAULT_CACHE
+        self.gpu = gpu or GPU(device or self.ctx.device,
+                              context=self.ctx)
+        self.cache = cache or self.ctx.kernel_cache
         self.kernel = self._compile()
 
     def _compile(self):
@@ -131,8 +136,9 @@ class PIVProcessor:
 
 def run_piv(problem: PIVProblem, img_a, img_b,
             config: Optional[PIVConfig] = None,
-            device: DeviceSpec = TESLA_C2070,
-            cache: Optional[KernelCache] = None) -> PIVResult:
+            device: Optional[DeviceSpec] = None,
+            cache: Optional[KernelCache] = None,
+            context: Optional[ExecutionContext] = None) -> PIVResult:
     """One-shot convenience wrapper."""
-    return PIVProcessor(problem, config, device,
-                        cache=cache).run(img_a, img_b)
+    return PIVProcessor(problem, config, device, cache=cache,
+                        context=context).run(img_a, img_b)

@@ -25,8 +25,9 @@ import numpy as np
 from repro.apps.template_matching import kernels as K
 from repro.data.frames import roi_origin
 from repro.gpupf import KernelCache, Pipeline
-from repro.gpusim import GPU, DeviceSpec, TESLA_C2070
+from repro.gpusim import GPU, DeviceSpec
 from repro.kernelc.templates import specialization_defines
+from repro.runtime.context import ExecutionContext, current_context
 
 
 @dataclass(frozen=True)
@@ -127,12 +128,16 @@ class TemplateMatcher:
 
     def __init__(self, problem: MatchProblem, template: np.ndarray,
                  config: Optional[MatchConfig] = None,
-                 device: DeviceSpec = TESLA_C2070,
+                 device: Optional[DeviceSpec] = None,
                  gpu: Optional[GPU] = None,
-                 cache: Optional[KernelCache] = None):
+                 cache: Optional[KernelCache] = None,
+                 context: Optional[ExecutionContext] = None):
+        self.ctx = (context or getattr(gpu, "ctx", None)
+                    or current_context())
         self.problem = problem
         self.config = config or MatchConfig()
-        self.gpu = gpu or GPU(device)
+        self.gpu = gpu or GPU(device or self.ctx.device,
+                              context=self.ctx)
         if template.shape != (problem.tmpl_h, problem.tmpl_w):
             raise ValueError("template shape does not match the problem")
         self.template_c = (template
@@ -144,7 +149,8 @@ class TemplateMatcher:
                                     self.config.tile_h)
         self.num_tiles = sum(r.count for r in self.regions)
         self.pipe = Pipeline(self.gpu, f"match-{problem.name}",
-                             cache=cache, engine=self.config.engine)
+                             cache=cache, engine=self.config.engine,
+                             context=self.ctx)
         self._build()
 
     # -- pipeline construction ---------------------------------------

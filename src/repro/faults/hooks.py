@@ -1,10 +1,18 @@
-"""Process-wide fault-injection hook point.
+"""Fault-injection hook point, scoped by :class:`ExecutionContext`.
 
-Hot paths consult ``hooks.ACTIVE`` — a single module attribute that is
-``None`` unless a chaos run installed an injector.  The disabled-path
-cost is one attribute load and a ``None`` test, and the wired-in sites
-sit at coarse granularity (per compile, per launch, per gang batch,
-per allocation), so production runs pay effectively nothing.
+Hot paths consult the *current* context's injector — ``None`` unless a
+chaos run installed one — via :func:`active` (or, preferably, via the
+``injector`` attribute of the context they already hold).  The
+disabled-path cost is one attribute load and a ``None`` test, and the
+wired-in sites sit at coarse granularity (per compile, per launch, per
+gang batch, per allocation), so production runs pay effectively
+nothing.
+
+``hooks.ACTIVE`` remains as a deprecated module-attribute shim (PEP
+562): it resolves to ``current_context().injector``, so legacy readers
+keep working and are automatically scoped — a worker thread or process
+running under its own context sees its own injector, never another
+sweep's.
 
 Usage::
 
@@ -17,52 +25,51 @@ Usage::
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
 from typing import Optional, Union
 
 from repro.faults.plan import FaultInjector, FaultPlan
 
-#: The installed injector, or None (the common, zero-overhead case).
-ACTIVE: Optional[FaultInjector] = None
 
-_INSTALL_LOCK = threading.Lock()
+def _ctx():
+    from repro.runtime.context import current_context
+    return current_context()
+
+
+def __getattr__(name: str):
+    # Deprecated shim: ``hooks.ACTIVE`` == the current context's
+    # injector.  New code should carry a context and read
+    # ``ctx.injector`` directly.
+    if name == "ACTIVE":
+        return _ctx().injector
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def install(plan: Union[FaultPlan, FaultInjector]) -> FaultInjector:
-    """Install *plan* process-wide; returns the live injector.
+    """Install *plan* on the current context; returns the live injector.
 
-    Exactly one injector may be active at a time — nested installs are
-    a test bug and raise immediately.
+    Exactly one injector may be active per context — nested installs
+    are a test bug and raise immediately.
     """
-    global ACTIVE
-    injector = plan if isinstance(plan, FaultInjector) \
-        else FaultInjector(plan)
-    with _INSTALL_LOCK:
-        if ACTIVE is not None:
-            raise RuntimeError("fault injection is already active; "
-                               "clear() the current injector first")
-        ACTIVE = injector
-    return injector
+    return _ctx().install_faults(plan)
 
 
 def clear() -> None:
-    """Remove the active injector (idempotent)."""
-    global ACTIVE
-    with _INSTALL_LOCK:
-        ACTIVE = None
+    """Remove the current context's injector (idempotent)."""
+    _ctx().clear_faults()
 
 
 def active() -> Optional[FaultInjector]:
-    """The live injector, or None when injection is disabled."""
-    return ACTIVE
+    """The current context's injector, or None when disabled."""
+    return _ctx().injector
 
 
 @contextmanager
 def injecting(plan: Union[FaultPlan, FaultInjector]):
     """Context manager: install *plan*, always clear on exit."""
-    injector = install(plan)
+    ctx = _ctx()
+    injector = ctx.install_faults(plan)
     try:
         yield injector
     finally:
-        clear()
+        ctx.clear_faults()

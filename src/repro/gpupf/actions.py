@@ -17,7 +17,6 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.faults import hooks as fault_hooks
 from repro.faults.errors import FaultError
 from repro.faults.retry import retry_call
 from repro.gpupf.params import Parameter, Schedule, TripletParam
@@ -164,7 +163,7 @@ class KernelExecution(Action):
                 sample_blocks=self.sample_blocks,
                 engine=self.engine)
 
-        if fault_hooks.ACTIVE is None:
+        if self.pipeline.ctx.injector is None:
             result = launch()  # fast path: no injector, no snapshots
         else:
             result = self._launch_resilient(launch)

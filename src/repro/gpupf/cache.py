@@ -180,5 +180,10 @@ class KernelCache:
             self.corrupt = 0
 
 
-#: Process-wide default cache used by Pipeline unless one is injected.
-DEFAULT_CACHE = KernelCache()
+def __getattr__(name: str):
+    # Deprecated shim: ``cache.DEFAULT_CACHE`` is now the current
+    # ExecutionContext's kernel cache, so legacy callers stay scoped.
+    if name == "DEFAULT_CACHE":
+        from repro.runtime.context import current_context
+        return current_context().kernel_cache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

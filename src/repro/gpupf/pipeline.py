@@ -22,8 +22,9 @@ from repro.faults.retry import RetryPolicy, retry_call
 from repro.gpupf import actions as act
 from repro.gpupf import params as par
 from repro.gpupf import resources as res
-from repro.gpupf.cache import DEFAULT_CACHE, KernelCache
+from repro.gpupf.cache import KernelCache
 from repro.kernelc.compiler import CompileError
+from repro.runtime.context import ExecutionContext, current_context
 
 
 class PipelineError(Exception):
@@ -53,10 +54,15 @@ class Pipeline:
                  cache: Optional[KernelCache] = None,
                  verbose: bool = False,
                  engine: Optional[str] = None,
-                 retry: Optional[RetryPolicy] = None):
+                 retry: Optional[RetryPolicy] = None,
+                 context: Optional[ExecutionContext] = None):
         self.gpu = gpu
+        #: The ExecutionContext this pipeline charges its work to:
+        #: explicit > the GPU's > the caller's current one.
+        self.ctx = (context or getattr(gpu, "ctx", None)
+                    or current_context())
         self.name = name
-        self.cache = cache or DEFAULT_CACHE
+        self.cache = cache or self.ctx.kernel_cache
         self.verbose = verbose
         #: Simulator engine for every kernel_exec of this pipeline
         #: (None = process default); per-action ``engine=`` overrides.

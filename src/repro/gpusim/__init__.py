@@ -9,7 +9,8 @@ testbeds: the Tesla C1060 (compute capability 1.3) and the Tesla C2070
 (compute capability 2.0).
 """
 
-from repro.gpusim.device import DeviceSpec, TESLA_C1060, TESLA_C2070
+from repro.gpusim.device import (DEVICES, DeviceSpec, TESLA_C1060,
+                                 TESLA_C2070)
 from repro.gpusim.engine import (ENGINES, default_engine, gang_cache_stats,
                                  resolve_engine, set_default_engine)
 from repro.gpusim.executor import (clear_plan_cache, plan_cache_stats,
@@ -17,7 +18,7 @@ from repro.gpusim.executor import (clear_plan_cache, plan_cache_stats,
 from repro.gpusim.launcher import GPU, LaunchResult
 from repro.gpusim.occupancy import OccupancyError, occupancy
 
-__all__ = ["DeviceSpec", "TESLA_C1060", "TESLA_C2070", "GPU",
+__all__ = ["DeviceSpec", "DEVICES", "TESLA_C1060", "TESLA_C2070", "GPU",
            "LaunchResult", "occupancy", "OccupancyError",
            "ENGINES", "default_engine", "set_default_engine",
            "resolve_engine", "plan_for", "plan_cache_stats",

@@ -46,7 +46,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.faults import hooks as fault_hooks
 from repro.gpusim import coalescing
 from repro.gpusim.executor import (WARP, BlockStats, KernelPlan,
                                    PlannedInstr, SimError, TextureBinding,
@@ -56,36 +55,32 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.memory import FlatMemory, GlobalMemory, MemoryError_
 from repro.kernelc.ir import IRKernel
 
-ENGINES = ("serial", "batched")
+from repro.runtime.context import ENGINES, current_context
 
 #: Blocks ganged per batch.  Bounds transient lane-state memory
 #: (n_regs × batch × 32 × 8 bytes) while keeping the per-instruction
 #: Python overhead amortized over many blocks.
 DEFAULT_BATCH_BLOCKS = 128
 
-_DEFAULT_ENGINE = os.environ.get("REPRO_SIM_ENGINE", "batched")
-
 _LANE_IDS = np.arange(WARP, dtype=np.int64)
 _CTAID_KEYS = ("ctaid.x", "ctaid.y", "ctaid.z")
 
 
 def default_engine() -> str:
-    """The engine used when a launch does not name one."""
-    return _DEFAULT_ENGINE
+    """The current context's engine, used when a launch names none."""
+    return current_context().engine
 
 
 def set_default_engine(name: str) -> str:
-    """Set the process-wide default engine; returns the previous one."""
-    global _DEFAULT_ENGINE
-    previous = _DEFAULT_ENGINE
-    _DEFAULT_ENGINE = resolve_engine(name)
-    return previous
+    """Set the current context's engine; returns the previous one."""
+    resolved = resolve_engine(name)
+    return current_context().set_engine(resolved)
 
 
-def resolve_engine(name: Optional[str]) -> str:
-    """Validate an ``engine=`` argument (None selects the default)."""
+def resolve_engine(name: Optional[str], ctx=None) -> str:
+    """Validate an ``engine=`` argument (None selects *ctx*'s default)."""
     if name is None or name == "auto":
-        name = _DEFAULT_ENGINE
+        name = (ctx or current_context()).engine
     if name not in ENGINES:
         raise SimError(f"unknown execution engine {name!r}; "
                        f"expected one of {ENGINES}")
@@ -102,8 +97,11 @@ def run_blocks_batched(kernel: IRKernel, device: DeviceSpec,
                        plan: Optional[KernelPlan] = None,
                        textures: Optional[Dict[str, TextureBinding]] = None,
                        batch_blocks: Optional[int] = None,
+                       ctx=None,
                        ) -> List[BlockStats]:
     """Execute *indices* blocks gang-batched; stats in index order."""
+    if ctx is None:
+        ctx = current_context()
     if plan is None:
         plan = KernelPlan(kernel, device)
     if batch_blocks is None:
@@ -111,7 +109,7 @@ def run_blocks_batched(kernel: IRKernel, device: DeviceSpec,
                                           DEFAULT_BATCH_BLOCKS))
     batch_blocks = max(1, batch_blocks)
     stats: List[BlockStats] = []
-    injector = fault_hooks.ACTIVE
+    injector = ctx.injector
     for start in range(0, len(indices), batch_blocks):
         if injector is not None:
             # Fault site: watchdog kill between gang batches.  Earlier
@@ -121,7 +119,8 @@ def run_blocks_batched(kernel: IRKernel, device: DeviceSpec,
                            detail=f"{kernel.name}@batch{start}")
         batch = _Batch(kernel, device, gmem, cmem, args,
                        indices[start:start + batch_blocks], block_dim,
-                       grid_dim, dynamic_smem, plan, textures or {})
+                       grid_dim, dynamic_smem, plan, textures or {},
+                       ctx=ctx)
         stats.extend(batch.run())
     return stats
 
@@ -173,29 +172,27 @@ class _GangProto:
             self.warps.append((specials, row_mask))
 
 
-_GANG_STATS = {"hits": 0, "misses": 0}
-
-
 def _gang_proto(plan: KernelPlan, device: DeviceSpec, block_dim,
-                grid_dim) -> _GangProto:
+                grid_dim, ctx=None) -> _GangProto:
+    stats = (ctx or current_context()).gang_stats
     key = (block_dim, grid_dim)
     proto = plan.gang_protos.get(key)
     if proto is None:
-        _GANG_STATS["misses"] += 1
+        stats["misses"] += 1
         proto = _GangProto(device, block_dim, grid_dim)
         plan.gang_protos[key] = proto
     else:
-        _GANG_STATS["hits"] += 1
+        stats["hits"] += 1
     return proto
 
 
-def gang_cache_stats() -> Dict[str, int]:
-    """Hit/miss counters for the gang-prototype cache.
+def gang_cache_stats(ctx=None) -> Dict[str, int]:
+    """Gang-prototype hit/miss counters for *ctx* (default current).
 
     Prototypes live on cached :class:`KernelPlan` objects, so
     :func:`repro.gpusim.clear_plan_cache` evicts them too.
     """
-    return dict(_GANG_STATS)
+    return dict((ctx or current_context()).gang_stats)
 
 
 def _segmented_prefix(values: np.ndarray, starts: np.ndarray,
@@ -310,7 +307,8 @@ class _Batch:
     """One gang of blocks executing a launch chunk in lockstep."""
 
     def __init__(self, kernel, device, gmem, cmem, args, indices,
-                 block_dim, grid_dim, dynamic_smem, plan, textures):
+                 block_dim, grid_dim, dynamic_smem, plan, textures,
+                 ctx=None):
         self.kernel = kernel
         self.device = device
         self.gmem = gmem
@@ -321,7 +319,8 @@ class _Batch:
         self.plan = plan
         self.ipdom = plan.ipdom
         self.textures = textures
-        self.proto = _gang_proto(plan, device, block_dim, grid_dim)
+        self.proto = _gang_proto(plan, device, block_dim, grid_dim,
+                                 ctx=ctx)
         self.nthreads = self.proto.nthreads
         self.nwarps = self.proto.nwarps
         smem_bytes = kernel.shared_bytes + dynamic_smem

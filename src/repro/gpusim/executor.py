@@ -225,41 +225,50 @@ class KernelPlan:
         return p
 
 
-#: Process-wide plan cache: (id(kernel_ir), device.name) -> KernelPlan.
-#: Entries are evicted by a weakref finalizer when the kernel IR dies,
-#: so a recycled id() can never alias a stale plan.
-_PLAN_CACHE: Dict[Tuple[int, str], KernelPlan] = {}
-_PLAN_CACHE_STATS = {"hits": 0, "misses": 0}
+def _ctx(ctx):
+    if ctx is None:
+        from repro.runtime.context import current_context
+        ctx = current_context()
+    return ctx
 
 
-def plan_for(kernel: IRKernel, device: DeviceSpec) -> KernelPlan:
+def plan_for(kernel: IRKernel, device: DeviceSpec,
+             ctx=None) -> KernelPlan:
     """A (cached) :class:`KernelPlan` for *kernel* on *device*.
 
     Sweeps launch the same kernel thousands of times; planning is pure
-    per ``(kernel identity, device)``, so it is paid once here.
+    per ``(kernel identity, device)``, so it is paid once here.  The
+    cache lives on the :class:`~repro.runtime.context.ExecutionContext`
+    (*ctx*, default current): entries key on ``(id(kernel_ir),
+    device.name)`` and are evicted by a weakref finalizer when the
+    kernel IR dies, so a recycled ``id()`` can never alias a stale
+    plan.
     """
+    ctx = _ctx(ctx)
     key = (id(kernel), device.name)
-    plan = _PLAN_CACHE.get(key)
+    plan = ctx.plan_cache.get(key)
     if plan is not None and plan.kernel is kernel:
-        _PLAN_CACHE_STATS["hits"] += 1
+        ctx.plan_stats["hits"] += 1
         return plan
-    _PLAN_CACHE_STATS["misses"] += 1
+    ctx.plan_stats["misses"] += 1
     plan = KernelPlan(kernel, device)
-    _PLAN_CACHE[key] = plan
-    weakref.finalize(kernel, _PLAN_CACHE.pop, key, None)
+    ctx.plan_cache[key] = plan
+    weakref.finalize(kernel, ctx.plan_cache.pop, key, None)
     return plan
 
 
-def plan_cache_stats() -> Dict[str, int]:
-    """Hit/miss counters plus the current cache size."""
-    return dict(_PLAN_CACHE_STATS, size=len(_PLAN_CACHE))
+def plan_cache_stats(ctx=None) -> Dict[str, int]:
+    """Hit/miss counters plus cache size for *ctx* (default current)."""
+    ctx = _ctx(ctx)
+    return dict(ctx.plan_stats, size=len(ctx.plan_cache))
 
 
-def clear_plan_cache() -> None:
-    """Drop all cached plans and reset the counters (for tests)."""
-    _PLAN_CACHE.clear()
-    _PLAN_CACHE_STATS["hits"] = 0
-    _PLAN_CACHE_STATS["misses"] = 0
+def clear_plan_cache(ctx=None) -> None:
+    """Drop *ctx*'s cached plans and reset its counters (for tests)."""
+    ctx = _ctx(ctx)
+    ctx.clear_plan_cache()
+    ctx.plan_stats["hits"] = 0
+    ctx.plan_stats["misses"] = 0
 
 
 _CMP_FN = {"eq": np.equal, "ne": np.not_equal, "lt": np.less,

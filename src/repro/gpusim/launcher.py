@@ -20,9 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.faults import hooks as fault_hooks
 from repro.faults.errors import ECCError
-from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.device import DeviceSpec
 from repro.gpusim.engine import resolve_engine, run_blocks_batched
 from repro.gpusim.executor import (BlockExecutor, BlockStats, SimError,
                                    TextureBinding, plan_for)
@@ -67,11 +66,22 @@ class LaunchResult:
 
 
 class GPU:
-    """A simulated CUDA device context."""
+    """A simulated CUDA device context.
 
-    def __init__(self, spec: DeviceSpec = TESLA_C2070,
-                 memory_bytes: int = 256 * 1024 * 1024):
-        self.spec = spec
+    Bound to an :class:`~repro.runtime.context.ExecutionContext`
+    (*context*, default: the caller's current context), which supplies
+    the default device spec, engine selection, launch-plan/sample
+    caches, and the fault injector.
+    """
+
+    def __init__(self, spec: Optional[DeviceSpec] = None,
+                 memory_bytes: int = 256 * 1024 * 1024,
+                 context=None):
+        if context is None:
+            from repro.runtime.context import current_context
+            context = current_context()
+        self.ctx = context
+        self.spec = spec or context.device
         self.gmem = GlobalMemory(memory_bytes)
         self._const: Dict[int, FlatMemory] = {}
         self._textures: Dict[tuple, TextureBinding] = {}
@@ -79,7 +89,7 @@ class GPU:
     # -- memory API ------------------------------------------------
 
     def malloc(self, nbytes: int) -> int:
-        injector = fault_hooks.ACTIVE
+        injector = self.ctx.injector
         if injector is not None:
             injector.check("memory.oom", detail=f"{nbytes}B")
         return self.gmem.alloc(nbytes)
@@ -191,7 +201,7 @@ class GPU:
             SimError / OccupancyError: invalid configuration or a
                 runtime fault in the kernel.
         """
-        engine = resolve_engine(engine)
+        engine = resolve_engine(engine, ctx=self.ctx)
         grid3 = _as_dim3(grid)
         block3 = _as_dim3(block)
         params = kernel.ir.params
@@ -206,16 +216,16 @@ class GPU:
         occ = occupancy(self.spec, block3[0] * block3[1] * block3[2],
                         kernel.reg_count, smem_per_block)
         cmem = self._const_mem(kernel.module)
-        plan = plan_for(kernel.ir, self.spec)
+        plan = plan_for(kernel.ir, self.spec, ctx=self.ctx)
         total_blocks = grid3[0] * grid3[1] * grid3[2]
         if total_blocks == 0:
             raise SimError("empty grid")
         indices = _block_indices(grid3, total_blocks, functional,
-                                 sample_blocks)
+                                 sample_blocks, ctx=self.ctx)
         textures = {name: binding
                     for (mod_id, name), binding in self._textures.items()
                     if mod_id == id(kernel.module)}
-        injector = fault_hooks.ACTIVE
+        injector = self.ctx.injector
         if injector is not None:
             # Fault site: the driver rejects the launch outright
             # (before any block executes, so no side effects exist).
@@ -225,7 +235,7 @@ class GPU:
                 kernel.ir, self.spec, self.gmem, cmem, arg_map,
                 indices, block_dim=block3, grid_dim=grid3,
                 dynamic_smem=dynamic_smem, plan=plan,
-                textures=textures)
+                textures=textures, ctx=self.ctx)
         else:
             stats = []
             for bidx in indices:
@@ -260,21 +270,25 @@ class GPU:
                             stats=stats)
 
 
-#: Memoized sampled-launch block picks, keyed (grid3, sample_blocks).
-#: Sweeps re-launch the same grid hundreds of times with functional=False;
+#: Bound on each context's sampled-launch pick memo; the memo lives on
+#: the ExecutionContext, keyed (grid3, sample_blocks).  Sweeps
+#: re-launch the same grid hundreds of times with functional=False;
 #: the pick list is pure geometry, so compute it once per shape.
-_SAMPLE_CACHE: Dict[Tuple[Tuple[int, int, int], int],
-                    List[Tuple[int, int, int]]] = {}
 _SAMPLE_CACHE_MAX = 512
 
 
-def _block_indices(grid3, total_blocks, functional, sample_blocks):
+def _block_indices(grid3, total_blocks, functional, sample_blocks,
+                   ctx=None):
     gx, gy, gz = grid3
     if functional or total_blocks <= sample_blocks:
         return [(x, y, z)
                 for z in range(gz) for y in range(gy) for x in range(gx)]
+    if ctx is None:
+        from repro.runtime.context import current_context
+        ctx = current_context()
+    cache = ctx.sample_cache
     key = (grid3, sample_blocks)
-    cached = _SAMPLE_CACHE.get(key)
+    cached = cache.get(key)
     if cached is not None:
         return cached
     # Spread samples across the grid so edge effects are represented.
@@ -284,9 +298,9 @@ def _block_indices(grid3, total_blocks, functional, sample_blocks):
         z, rem = divmod(linear, gx * gy)
         y, x = divmod(rem, gx)
         out.append((x, y, z))
-    if len(_SAMPLE_CACHE) >= _SAMPLE_CACHE_MAX:
-        _SAMPLE_CACHE.clear()
-    _SAMPLE_CACHE[key] = out
+    if len(cache) >= _SAMPLE_CACHE_MAX:
+        cache.clear()
+    cache[key] = out
     return out
 
 

@@ -1,0 +1,230 @@
+"""Scoped execution state: one :class:`ExecutionContext` per host.
+
+Everything the simulator stack historically kept in module-level
+globals lives here as instance state:
+
+* the default :class:`~repro.gpusim.device.DeviceSpec` and execution
+  engine selection (``serial`` / ``batched``),
+* the launch-plan cache and its hit/miss counters
+  (:func:`repro.gpusim.executor.plan_for`),
+* the batched engine's gang-prototype counters
+  (:func:`repro.gpusim.engine.gang_cache_stats`),
+* the sampled-launch block-pick memo
+  (:func:`repro.gpusim.launcher._block_indices`),
+* the compiled-kernel binary cache
+  (:class:`repro.gpupf.cache.KernelCache`),
+* the fault injector (:mod:`repro.faults.hooks`),
+* a free-form per-context counter registry (:meth:`bump`).
+
+A process-wide *default* context preserves every legacy entry point:
+module-level shims (``fault_hooks.ACTIVE``, ``plan_cache_stats()``,
+``DEFAULT_CACHE``...) resolve against :func:`current_context`, which is
+the innermost :func:`using_context` on this thread or else the default.
+Sweeps and process workers build their own contexts, so two concurrent
+sweeps in one process report fully independent cache/gang counters.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import Counter
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Union
+
+from repro.faults.plan import FaultInjector, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.device import DeviceSpec
+
+#: The execution engines a launch may name.
+ENGINES = ("serial", "batched")
+
+
+class ExecutionContext:
+    """Owns all mutable state one simulated host context needs.
+
+    Args:
+        device: default :class:`DeviceSpec` for ``GPU()`` constructed
+            under this context (defaults to the Tesla C2070 model).
+        engine: default execution engine for launches that do not name
+            one; falls back to ``REPRO_SIM_ENGINE`` or ``"batched"``.
+        kernel_cache: compiled-binary cache; a fresh private
+            :class:`KernelCache` unless one is injected.
+        injector: an optional pre-installed fault injector.
+    """
+
+    def __init__(self, device: Optional["DeviceSpec"] = None,
+                 engine: Optional[str] = None,
+                 kernel_cache=None,
+                 injector: Optional[FaultInjector] = None,
+                 name: str = "context"):
+        self.name = name
+        if device is None:
+            # Deferred for the same reason as KernelCache below: the
+            # gpusim package init imports engine.py, which imports this
+            # module for ENGINES/current_context.
+            from repro.gpusim.device import TESLA_C2070
+            device = TESLA_C2070
+        self.device = device
+        self.engine = self._validate_engine(
+            engine or os.environ.get("REPRO_SIM_ENGINE", "batched"))
+        if kernel_cache is None:
+            # Deferred: gpupf.cache imports faults.hooks, which resolves
+            # through this module; importing it lazily keeps the package
+            # import graph acyclic.
+            from repro.gpupf.cache import KernelCache
+            kernel_cache = KernelCache()
+        self.kernel_cache = kernel_cache
+        self.injector: Optional[FaultInjector] = injector
+        #: (id(kernel_ir), device.name) -> KernelPlan (see executor).
+        self.plan_cache: Dict = {}
+        self.plan_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+        #: Gang-prototype hit/miss counters (protos ride KernelPlans).
+        self.gang_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+        #: (grid3, sample_blocks) -> representative block picks.
+        self.sample_cache: Dict = {}
+        #: Free-form per-context counters (sweep bookkeeping etc.).
+        self.counters: Counter = Counter()
+        self._fault_lock = threading.Lock()
+
+    # -- engine selection ----------------------------------------------
+
+    @staticmethod
+    def _validate_engine(name: str) -> str:
+        if name not in ENGINES:
+            raise ValueError(f"unknown execution engine {name!r}; "
+                             f"expected one of {ENGINES}")
+        return name
+
+    def set_engine(self, name: str) -> str:
+        """Set this context's default engine; returns the previous."""
+        previous = self.engine
+        self.engine = self._validate_engine(name)
+        return previous
+
+    # -- fault injection ------------------------------------------------
+
+    def install_faults(self, plan: Union[FaultPlan, FaultInjector]
+                       ) -> FaultInjector:
+        """Install *plan* on this context; returns the live injector.
+
+        Exactly one injector may be active per context — nested
+        installs are a test bug and raise immediately.
+        """
+        injector = plan if isinstance(plan, FaultInjector) \
+            else FaultInjector(plan)
+        with self._fault_lock:
+            if self.injector is not None:
+                raise RuntimeError(
+                    "fault injection is already active on this context; "
+                    "clear_faults() the current injector first")
+            self.injector = injector
+        return injector
+
+    def clear_faults(self) -> None:
+        """Remove the active injector (idempotent)."""
+        with self._fault_lock:
+            self.injector = None
+
+    @contextmanager
+    def injecting(self, plan: Union[FaultPlan, FaultInjector]
+                  ) -> Iterator[FaultInjector]:
+        """Install *plan* for the dynamic extent; always clears."""
+        injector = self.install_faults(plan)
+        try:
+            yield injector
+        finally:
+            self.clear_faults()
+
+    # -- cache maintenance ----------------------------------------------
+
+    def clear_plan_cache(self) -> None:
+        """Drop cached launch plans (gang prototypes ride along)."""
+        self.plan_cache.clear()
+        self.sample_cache.clear()
+
+    def cache_counters(self) -> Dict[str, int]:
+        """Flat, namespaced cache counters for delta accounting."""
+        return {"plan_hits": self.plan_stats["hits"],
+                "plan_misses": self.plan_stats["misses"],
+                "gang_hits": self.gang_stats["hits"],
+                "gang_misses": self.gang_stats["misses"]}
+
+    # -- stats registry --------------------------------------------------
+
+    def bump(self, counter: str, n: int = 1) -> int:
+        """Increment a named per-context counter; returns the new value."""
+        self.counters[counter] += n
+        return self.counters[counter]
+
+    def stats(self) -> Dict[str, object]:
+        """Everything countable about this context, namespaced."""
+        return {
+            "name": self.name,
+            "device": self.device.name,
+            "engine": self.engine,
+            "plan": dict(self.plan_stats, size=len(self.plan_cache)),
+            "gang": dict(self.gang_stats),
+            "kernel_cache": self.kernel_cache.stats(),
+            "counters": dict(self.counters),
+        }
+
+    # -- activation ------------------------------------------------------
+
+    def activate(self):
+        """``with ctx.activate():`` — make this the current context."""
+        return using_context(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ExecutionContext {self.name!r} device={self.device.name}"
+                f" engine={self.engine}>")
+
+
+# ---------------------------------------------------------------------
+# Default / current context plumbing.
+# ---------------------------------------------------------------------
+
+_DEFAULT: Optional[ExecutionContext] = None
+_DEFAULT_LOCK = threading.Lock()
+_TLS = threading.local()
+
+
+def default_context() -> ExecutionContext:
+    """The lazily-created process-wide default context.
+
+    Legacy module-level entry points (``fault_hooks.ACTIVE``,
+    ``DEFAULT_CACHE``, ``plan_cache_stats()``...) resolve here when no
+    scoped context is active on the calling thread.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT is None:
+                _DEFAULT = ExecutionContext(name="default")
+    return _DEFAULT
+
+
+def current_context() -> ExecutionContext:
+    """The innermost activated context on this thread, or the default."""
+    stack = getattr(_TLS, "stack", None)
+    if stack:
+        return stack[-1]
+    return default_context()
+
+
+@contextmanager
+def using_context(ctx: ExecutionContext) -> Iterator[ExecutionContext]:
+    """Make *ctx* the current context for the dynamic extent.
+
+    Scoping is per-thread: worker threads of a sweep activate the
+    sweep's context without disturbing other threads.
+    """
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        stack.pop()

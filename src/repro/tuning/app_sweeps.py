@@ -4,23 +4,97 @@ Each builds the workload once and evaluates configurations with sampled
 (non-functional) launches, which is how autotuning over the simulator
 stays affordable: a handful of representative blocks per configuration,
 extrapolated by the timing model.
+
+Two styles:
+
+* :class:`HarnessRunner` + :func:`harness_sweep` — the picklable path.
+  The runner carries only a :class:`~repro.apps.harness.ProblemSpec`
+  (seeds, not arrays) and rebuilds everything per evaluation via
+  :func:`~repro.apps.harness.run_request`, so it works identically
+  with ``pool="thread"`` and ``pool="process"``.
+* the legacy ``piv_sweep`` / ``tm_sweep`` / ``bp_sweep`` closures —
+  thread-only (closures over input arrays don't pickle), kept for
+  callers that already hold generated inputs.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional
 
 import numpy as np
 
 from repro.apps.backprojection import Backprojector, BPConfig, BPProblem
+from repro.apps.harness import (ProblemSpec, RunRequest, get_harness,
+                                run_request)
 from repro.apps.piv import PIVConfig, PIVProblem, PIVProcessor
 from repro.apps.template_matching import (MatchConfig, MatchProblem,
                                           TemplateMatcher)
-from repro.gpupf.cache import KernelCache
-from repro.gpusim import DeviceSpec, GPU
+from repro.faults.plan import FaultPlan
+from repro.gpusim import DeviceSpec
 from repro.tuning.sweep import SweepRecord, Sweeper, grid_configs
 
-_SHARED_CACHE = KernelCache()
+
+@dataclass(frozen=True)
+class HarnessRunner:
+    """A picklable sweep evaluator: grid config dict -> SweepRecord.
+
+    Every ``__call__`` goes through
+    :func:`repro.apps.harness.run_request`, which builds a fresh
+    private :class:`ExecutionContext` and (when ``fault_plan`` is set)
+    re-installs the seeded injector inside whatever worker runs it —
+    the guarantee that makes chaos sweeps work under process pools.
+    Because each evaluation is hermetic, results are bit-identical
+    across ``jobs``/pool choices.
+    """
+
+    app: str
+    spec: ProblemSpec
+    specialize: bool = True
+    sample_blocks: int = 2
+    functional: bool = False
+    engine: Optional[str] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def __call__(self, config: dict) -> SweepRecord:
+        harness = get_harness(self.app)
+        app_config = harness.sweep_config(
+            config, specialize=self.specialize,
+            sample_blocks=self.sample_blocks,
+            functional=self.functional, engine=self.engine)
+        result = run_request(RunRequest(self.spec, app_config,
+                                        fault_plan=self.fault_plan))
+        return SweepRecord(config=config, seconds=result.seconds,
+                           reg_count=result.reg_count,
+                           occupancy=result.occupancy,
+                           counters=result.counters,
+                           faults=result.faults)
+
+
+def harness_sweep(app: str, problem, axes: Mapping[str, Iterable], *,
+                  device: str = "c2070", seed: int = 0,
+                  memory_bytes: int = 64 * 1024 * 1024,
+                  specialize: bool = True, sample_blocks: int = 2,
+                  functional: bool = False,
+                  engine: Optional[str] = None,
+                  fault_plan: Optional[FaultPlan] = None,
+                  jobs: int = 1, pool: str = "thread",
+                  start_method: Optional[str] = None) -> Sweeper:
+    """Sweep *axes* for one app via the picklable harness protocol.
+
+    Returns the :class:`Sweeper` after running, so callers read
+    ``.records`` (grid order) and the exact ``.cache_report``.
+    """
+    spec = ProblemSpec(app, problem, seed=seed, device=device,
+                       memory_bytes=memory_bytes)
+    runner = HarnessRunner(app, spec, specialize=specialize,
+                           sample_blocks=sample_blocks,
+                           functional=functional, engine=engine,
+                           fault_plan=fault_plan)
+    sweeper = Sweeper(runner, jobs=jobs, pool=pool,
+                      start_method=start_method)
+    sweeper.sweep(grid_configs(**{k: list(v) for k, v in axes.items()}))
+    return sweeper
 
 
 def piv_sweep(problem: PIVProblem, device: DeviceSpec,
@@ -28,11 +102,10 @@ def piv_sweep(problem: PIVProblem, device: DeviceSpec,
               rb_values: Iterable[int], thread_values: Iterable[int],
               variant: str = "tree", specialize: bool = True,
               sample_blocks: int = 2,
-              cache: Optional[KernelCache] = None,
+              cache=None,
               jobs: int = 1,
               engine: Optional[str] = None) -> List[SweepRecord]:
     """Sweep (rb, threads) for one PIV problem on one device."""
-    cache = cache or _SHARED_CACHE
 
     def run(config: dict) -> SweepRecord:
         cfg = PIVConfig(variant=variant, rb=config["rb"],
@@ -46,6 +119,7 @@ def piv_sweep(problem: PIVProblem, device: DeviceSpec,
                            occupancy=result.occupancy)
 
     sweeper = Sweeper(run, jobs=jobs)
+    cache = cache or sweeper.ctx.kernel_cache
     return sweeper.sweep(grid_configs(rb=list(rb_values),
                                       threads=list(thread_values)))
 
@@ -54,11 +128,10 @@ def tm_sweep(problem: MatchProblem, template: np.ndarray,
              frame: np.ndarray, tile_sizes, thread_values,
              device: DeviceSpec, specialize: bool = True,
              sample_blocks: int = 2,
-             cache: Optional[KernelCache] = None,
+             cache=None,
              jobs: int = 1,
              engine: Optional[str] = None) -> List[SweepRecord]:
     """Sweep (tile, threads) for one template-matching problem."""
-    cache = cache or _SHARED_CACHE
 
     def run(config: dict) -> SweepRecord:
         tw, th = config["tile"]
@@ -74,6 +147,7 @@ def tm_sweep(problem: MatchProblem, template: np.ndarray,
                            reg_count=matcher.numerator_reg_count())
 
     sweeper = Sweeper(run, jobs=jobs)
+    cache = cache or sweeper.ctx.kernel_cache
     return sweeper.sweep(grid_configs(tile=list(tile_sizes),
                                       threads=list(thread_values)))
 
@@ -81,11 +155,10 @@ def tm_sweep(problem: MatchProblem, template: np.ndarray,
 def bp_sweep(problem: BPProblem, projections: np.ndarray,
              block_shapes, zb_values, device: DeviceSpec,
              specialize: bool = True, sample_blocks: int = 2,
-             cache: Optional[KernelCache] = None,
+             cache=None,
              jobs: int = 1,
              engine: Optional[str] = None) -> List[SweepRecord]:
     """Sweep (block shape, zb) for a backprojection problem."""
-    cache = cache or _SHARED_CACHE
 
     def run(config: dict) -> SweepRecord:
         bx, by = config["block"]
@@ -99,5 +172,6 @@ def bp_sweep(problem: BPProblem, projections: np.ndarray,
                            occupancy=result.occupancy)
 
     sweeper = Sweeper(run, jobs=jobs)
+    cache = cache or sweeper.ctx.kernel_cache
     return sweeper.sweep(grid_configs(block=list(block_shapes),
                                       zb=list(zb_values)))

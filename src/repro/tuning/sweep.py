@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
+import pickle
 from collections import Counter
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
+                                as_completed)
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.runtime.context import ExecutionContext, using_context
+
+POOLS = ("thread", "process")
 
 
 @dataclass
@@ -18,9 +24,43 @@ class SweepRecord:
     occupancy: float = 0.0
     valid: bool = True
     error: str = ""
+    #: Grid position of this record's config (set by ``sweep()``);
+    #: records are always returned sorted by it.
+    index: int = -1
+    #: Plan/gang cache counters charged by runs that evaluated in a
+    #: private context of their own (harness/process runs); empty for
+    #: closure runs, which charge the sweep's context directly.
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: site -> fired count from the run's fault injector (chaos
+    #: sweeps); empty when no fault plan was installed.
+    faults: Dict[str, int] = field(default_factory=dict)
 
     def key(self) -> Tuple:
         return tuple(sorted(self.config.items()))
+
+
+def _eval_config(run: Callable[[dict], SweepRecord],
+                 config: dict) -> SweepRecord:
+    try:
+        return run(dict(config))
+    except Exception as exc:  # occupancy/compile failures
+        return SweepRecord(config=dict(config),
+                           seconds=float("inf"), valid=False,
+                           error=f"{type(exc).__name__}: {exc}")
+
+
+def _process_eval(payload) -> Tuple[int, SweepRecord]:
+    """Process-pool worker entry: evaluate one indexed config.
+
+    The unpickled *run* rebuilds whatever context it needs (a
+    :class:`~repro.tuning.app_sweeps.HarnessRunner` builds a fresh
+    :class:`ExecutionContext`, re-installing any shipped fault plan);
+    nothing from the parent's contexts is assumed to exist here.
+    """
+    index, run, config = payload
+    record = _eval_config(run, config)
+    record.index = index
+    return index, record
 
 
 class Sweeper:
@@ -31,55 +71,111 @@ class Sweeper:
     failures — a real phenomenon the dissertation's sweeps also hit)
     come back ``valid=False`` and stay in the record list so coverage
     tables can show the holes.
+
+    Args:
+        run: the evaluation function.  ``pool="process"`` requires it
+            to be picklable (a :class:`HarnessRunner` or plain
+            function, not a closure).
+        jobs: worker count; 1 evaluates inline.
+        pool: ``"thread"`` (workers share this process) or
+            ``"process"`` (each worker is a subprocess that rebuilds
+            its own execution state from the pickled run).
+        context: the :class:`ExecutionContext` the sweep evaluates
+            under; a fresh private one by default, so concurrent
+            sweeps in one process never share caches or counters.
+        start_method: multiprocessing start method for
+            ``pool="process"`` (None = platform default; ``"spawn"``
+            exercises a cold interpreter per worker).
     """
 
     def __init__(self, run: Callable[[dict], SweepRecord],
-                 jobs: int = 1):
+                 jobs: int = 1, pool: str = "thread",
+                 context: Optional[ExecutionContext] = None,
+                 start_method: Optional[str] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if pool not in POOLS:
+            raise ValueError(f"unknown pool {pool!r}; "
+                             f"expected one of {POOLS}")
         self.run = run
         self.jobs = jobs
+        self.pool = pool
+        self.start_method = start_method
+        #: Every evaluation of this sweep is charged to this context —
+        #: its plan/gang counters see no other sweep's traffic.
+        self.ctx = context or ExecutionContext(name="sweep")
         self.records: List[SweepRecord] = []
         #: Simulator cache activity attributed to the last ``sweep()``
-        #: call: hit/miss deltas for the launch-plan cache and the
-        #: batched engine's gang-prototype cache.  A healthy sweep over
-        #: one kernel shows ~1 miss and hits for every other launch.
-        #:
-        #: Caveat: the underlying counters are *process-wide*, so when
-        #: two sweeps run concurrently each window also sees the other
-        #: sweep's traffic — every report stays bounded by the combined
-        #: global delta, but per-sweep attribution is skewed.  Run
-        #: sweeps sequentially when exact attribution matters.
+        #: call: exact hit/miss deltas for the launch-plan cache and
+        #: the batched engine's gang-prototype cache, summed over the
+        #: sweep context and the per-record private contexts.  A
+        #: healthy sweep over one kernel shows ~1 miss and hits for
+        #: every other launch.
         self.cache_report: Dict[str, int] = {}
 
     def _eval(self, config: dict) -> SweepRecord:
-        try:
-            return self.run(dict(config))
-        except Exception as exc:  # occupancy/compile failures
-            return SweepRecord(config=dict(config),
-                               seconds=float("inf"), valid=False,
-                               error=f"{type(exc).__name__}: {exc}")
+        with using_context(self.ctx):
+            return _eval_config(self.run, config)
 
     def sweep(self, configs: Iterable[dict]) -> List[SweepRecord]:
         configs = list(configs)
-        before = _cache_counters()
+        before = self.ctx.cache_counters()
+        new: List[SweepRecord] = []
         try:
             if self.jobs == 1 or len(configs) <= 1:
-                for config in configs:
-                    self.records.append(self._eval(config))
-                return self.records
-            # Worker threads each evaluate whole configurations; the
-            # run function builds its own GPU context per call, so
-            # workers never share simulator state.  ``map`` keeps
-            # result order == config order, so records are
-            # deterministic regardless of which worker finishes first.
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                self.records.extend(pool.map(self._eval, configs))
+                for index, config in enumerate(configs):
+                    record = self._eval(config)
+                    record.index = index
+                    new.append(record)
+            elif self.pool == "process":
+                new = self._sweep_process(configs)
+            else:
+                # Worker threads each evaluate whole configurations
+                # under the sweep's context; the run function builds
+                # its own GPU per call, so workers never share
+                # simulator buffers.
+                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                    new = list(pool.map(self._eval, configs))
+                for index, record in enumerate(new):
+                    record.index = index
+            # Grid order regardless of pool type or completion order.
+            new.sort(key=lambda r: r.index)
+            self.records.extend(new)
             return self.records
         finally:
-            after = _cache_counters()
-            self.cache_report = {k: after[k] - before[k] for k in after}
+            after = self.ctx.cache_counters()
+            report = {k: after[k] - before[k] for k in after}
+            for record in new:
+                for k, v in record.counters.items():
+                    report[k] = report.get(k, 0) + v
+            self.cache_report = report
 
+    def _sweep_process(self, configs: List[dict]) -> List[SweepRecord]:
+        try:
+            pickle.dumps(self.run)
+        except Exception as exc:
+            raise ValueError(
+                "pool='process' needs a picklable run callable; "
+                "closures over arrays are not — use a HarnessRunner "
+                f"(repro.tuning.app_sweeps) instead: {exc}") from exc
+        import multiprocessing as mp
+        mp_context = (mp.get_context(self.start_method)
+                      if self.start_method else None)
+        results: Dict[int, SweepRecord] = {}
+        with ProcessPoolExecutor(max_workers=self.jobs,
+                                 mp_context=mp_context) as pool:
+            futures = [pool.submit(_process_eval,
+                                   (i, self.run, dict(config)))
+                       for i, config in enumerate(configs)]
+            for future in as_completed(futures):
+                index, record = future.result()
+                results[index] = record
+        return [results[i] for i in sorted(results)]
+
+    def gang_cache_stats(self) -> Dict[str, int]:
+        """Gang-prototype hit/miss counters for the last sweep call."""
+        return {"hits": self.cache_report.get("gang_hits", 0),
+                "misses": self.cache_report.get("gang_misses", 0)}
 
     def error_taxonomy(self) -> Dict[str, int]:
         """Invalid records grouped by error class, with counts.
@@ -97,17 +193,6 @@ def _error_class(error: str) -> str:
     """``"SimError: bad launch"`` -> ``"SimError"``."""
     head = error.split(":", 1)[0].strip()
     return head or "UnknownError"
-
-
-def _cache_counters() -> Dict[str, int]:
-    """Current simulator cache counters, namespaced per cache."""
-    from repro.gpusim import gang_cache_stats, plan_cache_stats
-    counters = {}
-    for prefix, stats in (("plan", plan_cache_stats()),
-                          ("gang", gang_cache_stats())):
-        for key in ("hits", "misses"):
-            counters[f"{prefix}_{key}"] = stats[key]
-    return counters
 
 
 def best_record(records: List[SweepRecord]) -> SweepRecord:

@@ -1,0 +1,156 @@
+"""ExecutionContext scoping, shims, and engine/fault ownership."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults import hooks as fault_hooks
+from repro.gpupf import cache as gpupf_cache
+from repro.gpusim import (GPU, TESLA_C1060, TESLA_C2070, default_engine,
+                          gang_cache_stats, plan_cache_stats,
+                          set_default_engine)
+from repro.runtime import (ENGINES, ExecutionContext, current_context,
+                           default_context, using_context)
+
+
+class TestContextBasics:
+    def test_defaults(self):
+        ctx = ExecutionContext()
+        assert ctx.device is TESLA_C2070
+        assert ctx.engine in ENGINES
+        assert ctx.injector is None
+        assert ctx.cache_counters() == {"plan_hits": 0,
+                                        "plan_misses": 0,
+                                        "gang_hits": 0,
+                                        "gang_misses": 0}
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(engine="warp-speed")
+        ctx = ExecutionContext()
+        with pytest.raises(ValueError):
+            ctx.set_engine("nope")
+
+    def test_current_falls_back_to_process_default(self):
+        assert current_context() is default_context()
+
+    def test_using_context_stacks_and_restores(self):
+        outer = ExecutionContext(name="outer")
+        inner = ExecutionContext(name="inner")
+        with using_context(outer):
+            assert current_context() is outer
+            with using_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+        assert current_context() is default_context()
+
+    def test_context_stack_is_thread_local(self):
+        ctx = ExecutionContext(name="mine")
+        seen = {}
+
+        def probe():
+            seen["ctx"] = current_context()
+
+        with using_context(ctx):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        # The other thread never saw this thread's context.
+        assert seen["ctx"] is default_context()
+
+
+class TestContextState:
+    def test_counters_are_per_context(self):
+        a = ExecutionContext(name="a")
+        b = ExecutionContext(name="b")
+        a.plan_stats["misses"] += 3
+        assert b.cache_counters()["plan_misses"] == 0
+        assert a.cache_counters()["plan_misses"] == 3
+
+    def test_launch_charges_ambient_context_only(self):
+        from tests.helpers import KernelHarness
+
+        src = """
+        __global__ void copy(float *out, const float *in, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) out[i] = in[i];
+        }
+        """
+        ctx = ExecutionContext(name="launches")
+        other = ExecutionContext(name="idle")
+        with using_context(ctx):
+            h = KernelHarness(src)
+            n = 64 * 4
+            inp = np.arange(n, dtype=np.float32)
+            for _ in range(2):
+                h((4,), (64,), np.zeros(n, np.float32), inp, n,
+                  engine="batched")
+        counters = ctx.cache_counters()
+        assert counters["plan_misses"] == 1
+        assert counters["plan_hits"] == 1
+        assert counters["gang_misses"] == 1
+        assert counters["gang_hits"] == 1
+        assert other.cache_counters()["plan_misses"] == 0
+
+    def test_engine_selection_is_context_scoped(self):
+        ctx = ExecutionContext(engine="serial")
+        baseline = default_engine()
+        with using_context(ctx):
+            assert default_engine() == "serial"
+            set_default_engine("batched")
+            assert ctx.engine == "batched"
+        assert default_engine() == baseline
+
+    def test_stats_shims_read_current_context(self):
+        ctx = ExecutionContext()
+        ctx.plan_stats["hits"] = 7
+        ctx.gang_stats["misses"] = 2
+        with using_context(ctx):
+            assert plan_cache_stats()["hits"] == 7
+            assert gang_cache_stats()["misses"] == 2
+
+    def test_kernel_cache_shim_follows_context(self):
+        ctx = ExecutionContext()
+        with using_context(ctx):
+            assert gpupf_cache.DEFAULT_CACHE is ctx.kernel_cache
+        assert (gpupf_cache.DEFAULT_CACHE
+                is default_context().kernel_cache)
+
+    def test_gpu_captures_construction_context(self):
+        ctx = ExecutionContext(device=TESLA_C1060)
+        with using_context(ctx):
+            gpu = GPU()
+        assert gpu.ctx is ctx
+        assert gpu.spec is TESLA_C1060
+
+
+class TestContextFaults:
+    def test_install_from_plan_and_clear(self):
+        ctx = ExecutionContext()
+        plan = FaultPlan(seed=3, counts={"nvcc.compile": 1})
+        injector = ctx.install_faults(plan)
+        assert isinstance(injector, FaultInjector)
+        assert ctx.injector is injector
+        with pytest.raises(RuntimeError):
+            ctx.install_faults(plan)
+        ctx.clear_faults()
+        assert ctx.injector is None
+
+    def test_injecting_scoped_to_context(self):
+        ctx = ExecutionContext()
+        with ctx.injecting(FaultPlan(seed=0)) as injector:
+            assert ctx.injector is injector
+        assert ctx.injector is None
+
+    def test_hooks_shim_sees_context_injector(self):
+        ctx = ExecutionContext()
+        with using_context(ctx):
+            assert fault_hooks.ACTIVE is None
+            with fault_hooks.injecting(FaultPlan(seed=5)) as injector:
+                assert fault_hooks.ACTIVE is injector
+                assert ctx.injector is injector
+            assert fault_hooks.ACTIVE is None
+        # Installing on a scoped context never touches the default one.
+        assert default_context().injector is None

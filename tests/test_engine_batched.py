@@ -558,8 +558,7 @@ def test_sweeper_jobs_deterministic():
 
 
 def test_sweeper_cache_report_attributes_reuse():
-    clear_plan_cache()
-    h = KernelHarness(DIVERGENT_SRC)
+    from repro.runtime.context import using_context
 
     def run(config):
         n = 64 * 4
@@ -569,13 +568,18 @@ def test_sweeper_cache_report_attributes_reuse():
         return SweepRecord(config=config, seconds=res.seconds)
 
     sweeper = Sweeper(run)
+    # The harness captures the ambient context at construction; build
+    # it under the sweep's context so its launches are charged there.
+    with using_context(sweeper.ctx):
+        h = KernelHarness(DIVERGENT_SRC)
     sweeper.sweep([{"i": i} for i in range(4)])
     report = sweeper.cache_report
     # One compile/shape, four launches: everything after the first is
-    # a cache hit in both the plan and gang-prototype caches.
+    # a cache hit in both the plan and gang-prototype caches.  The
+    # context is private to this sweep, so the counts are exact even
+    # with other tests (or sweeps) running in the same process.
     assert report["plan_misses"] == 1 and report["plan_hits"] == 3
     assert report["gang_misses"] == 1 and report["gang_hits"] == 3
-    clear_plan_cache()
 
 
 def test_sweeper_jobs_captures_failures():

@@ -66,48 +66,51 @@ class TestSweeper:
                                             "ValueError": 1}
 
     def test_cache_report_attribution_under_concurrent_sweeps(self):
-        # The launch-plan/gang counters are process-wide, so two sweeps
-        # overlapping in time each see some of the other's traffic.
-        # The documented guarantee: every per-sweep report stays
-        # non-negative and bounded by the combined global delta.
+        # Each Sweeper owns a private ExecutionContext, so two sweeps
+        # overlapping in time report *exactly* their own plan/gang
+        # traffic — equal to what the same sweep reports when run
+        # alone, with no cross-attribution.
         import threading
 
-        from repro.tuning.sweep import _cache_counters
         from repro.apps.piv import (PIVConfig, PIVProblem, PIVProcessor)
         from repro.gpusim import GPU
-        from repro.gpupf import KernelCache
 
         problem = PIVProblem("cc", 40, 40, mask=8, offs=3)
         img_a, img_b = particle_image_pair(40, 40, seed=1)
+
+        def make_run(barrier=None):
+            def run(config):
+                if barrier is not None:
+                    barrier.wait()  # force the two sweeps to overlap
+                proc = PIVProcessor(problem,
+                                    PIVConfig(rb=config["rb"],
+                                              threads=32),
+                                    gpu=GPU(TESLA_C2070,
+                                            memory_bytes=4 << 20))
+                result = proc.run(img_a, img_b)
+                return SweepRecord(config=config, seconds=1.0,
+                                   valid=result.scores is not None)
+            return run
+
+        # Baseline: the exact counters one such sweep produces alone.
+        solo = Sweeper(make_run())
+        solo.sweep(grid_configs(rb=[2, 4]))
+        assert all(r.valid for r in solo.records)
+        baseline = solo.cache_report
+        assert baseline["plan_misses"] > 0
+
         barrier = threading.Barrier(2)
-
-        def run(config):
-            barrier.wait()  # force the two sweeps to overlap
-            proc = PIVProcessor(problem,
-                                PIVConfig(rb=config["rb"], threads=32),
-                                gpu=GPU(TESLA_C2070,
-                                        memory_bytes=4 << 20),
-                                cache=KernelCache())
-            result = proc.run(img_a, img_b)
-            return SweepRecord(config=config, seconds=1.0,
-                               valid=result.scores is not None)
-
-        sweepers = [Sweeper(run), Sweeper(run)]
-        before = _cache_counters()
+        sweepers = [Sweeper(make_run(barrier)) for _ in range(2)]
         threads = [threading.Thread(
-            target=lambda s=s: s.sweep(grid_configs(rb=[2])))
+            target=lambda s=s: s.sweep(grid_configs(rb=[2, 4])))
             for s in sweepers]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
-        global_delta = {k: v - before[k]
-                        for k, v in _cache_counters().items()}
         for sweeper in sweepers:
             assert all(r.valid for r in sweeper.records)
-            for key, value in sweeper.cache_report.items():
-                assert 0 <= value <= global_delta[key], \
-                    f"{key}: per-sweep {value} vs global {global_delta}"
+            assert sweeper.cache_report == baseline
 
 
 class TestGrids:
