@@ -28,7 +28,7 @@ subprocess.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -81,11 +81,17 @@ class RunRequest:
     ``config`` is the app's frozen config dataclass.  ``fault_plan``
     (not an injector — injectors hold locks and are process-local) is
     re-installed inside whatever worker executes the request.
+    ``trace`` enables the worker context's :class:`~repro.obs.Tracer`
+    for this evaluation; the recorded spans, metrics snapshot, and
+    per-launch profiles ride the :class:`RunResult` back across the
+    pickle boundary (a tracer itself never crosses processes — like
+    the fault injector, it is rebuilt where the work runs).
     """
 
     spec: ProblemSpec
     config: object
     fault_plan: Optional[FaultPlan] = None
+    trace: bool = False
 
 
 @dataclass
@@ -102,6 +108,15 @@ class RunResult:
     counters: Dict[str, int] = field(default_factory=dict)
     #: site -> fired count from the run's injector (empty: no faults).
     faults: Dict[str, int] = field(default_factory=dict)
+    #: Tracer export (``{"name", "spans"}``) for traced requests;
+    #: None when the request did not set ``trace=True``.
+    trace: Optional[Dict[str, object]] = None
+    #: The run context's ``metrics_snapshot()`` (traced requests only).
+    metrics: Optional[Dict[str, object]] = None
+    #: Per-launch :class:`~repro.obs.LaunchProfile` records in launch
+    #: order (traced requests only) — frozen scalar dataclasses, so
+    #: they survive pickling back from process-pool workers.
+    profiles: List[object] = field(default_factory=list)
 
     def same_output(self, other: "RunResult") -> bool:
         """Bit-identical functional output (both-None counts)."""
@@ -256,9 +271,23 @@ def run_request(request: RunRequest) -> RunResult:
     injector = None
     if request.fault_plan is not None:
         injector = ctx.install_faults(request.fault_plan)
+    tracer = ctx.enable_tracing(f"run:{spec.app}") if request.trace \
+        else None
     with using_context(ctx):
-        result = harness.execute(spec, request.config, context=ctx)
+        if tracer is None:
+            result = harness.execute(spec, request.config, context=ctx)
+        else:
+            with tracer.span(f"request:{spec.app}", "harness",
+                             app=spec.app, device=spec.device,
+                             seed=spec.seed) as span:
+                result = harness.execute(spec, request.config,
+                                         context=ctx)
+                span.attrs["sim_seconds"] = result.seconds
     result.counters = ctx.cache_counters()
     if injector is not None:
         result.faults = injector.summary()
+    if tracer is not None:
+        result.trace = tracer.to_dict()
+        result.metrics = ctx.metrics_snapshot()
+        result.profiles = list(tracer.profiles)
     return result

@@ -55,7 +55,15 @@ class Action:
         raise NotImplementedError  # pragma: no cover
 
     def run(self, iteration: int) -> float:
-        seconds = self.execute(iteration)
+        tracer = self.pipeline.ctx.tracer
+        if tracer is None:
+            seconds = self.execute(iteration)
+        else:
+            with tracer.span(f"action:{self.name}", "action",
+                             kind=type(self).__name__,
+                             iteration=iteration) as span:
+                seconds = self.execute(iteration)
+                span.attrs["sim_seconds"] = seconds
         self.runs += 1
         self.simulated_seconds += seconds
         return seconds

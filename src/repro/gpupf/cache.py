@@ -76,11 +76,18 @@ class KernelCache:
             key_src += "".join(f"\n//@{n}\n{headers[n]}"
                                for n in sorted(headers))
         key = cache_key(key_src, defines, arch, opt_level)
+        # Resolved per call, like fault_hooks.ACTIVE below: the cache
+        # may be shared by threads tracing into different contexts.
+        from repro.obs.trace import current_tracer
+        tracer = current_tracer()
         while True:
             with self._lock:
                 module = self._memory.get(key)
                 if module is not None:
                     self.hits += 1
+                    if tracer is not None:
+                        tracer.event("cache.hit", "cache",
+                                     key=key[:16])
                     return module
                 latch = self._in_flight.get(key)
                 if latch is None:
@@ -96,9 +103,14 @@ class KernelCache:
                 with self._lock:
                     self._memory[key] = module
                     self.hits += 1
+                if tracer is not None:
+                    tracer.event("cache.disk_hit", "cache",
+                                 key=key[:16])
                 return module
             with self._lock:
                 self.misses += 1
+            if tracer is not None:
+                tracer.event("cache.miss", "cache", key=key[:16])
             module = nvcc(source, defines=defines, arch=arch,
                           opt_level=opt_level, headers=headers)
             with self._lock:

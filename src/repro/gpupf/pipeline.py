@@ -12,7 +12,6 @@ did.
 from __future__ import annotations
 
 import time
-from collections import Counter
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -24,7 +23,9 @@ from repro.gpupf import params as par
 from repro.gpupf import resources as res
 from repro.gpupf.cache import KernelCache
 from repro.kernelc.compiler import CompileError
-from repro.runtime.context import ExecutionContext, current_context
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.context import (ExecutionContext, current_context,
+                                   using_context)
 
 
 class PipelineError(Exception):
@@ -55,7 +56,8 @@ class Pipeline:
                  verbose: bool = False,
                  engine: Optional[str] = None,
                  retry: Optional[RetryPolicy] = None,
-                 context: Optional[ExecutionContext] = None):
+                 context: Optional[ExecutionContext] = None,
+                 trace: bool = False):
         self.gpu = gpu
         #: The ExecutionContext this pipeline charges its work to:
         #: explicit > the GPU's > the caller's current one.
@@ -77,13 +79,16 @@ class Pipeline:
         self.iteration = 0
         self.log: List[str] = []
         self.refresh_count = 0
-        #: Fault/retry/degradation accounting (see health_report()).
-        self.health: Dict[str, object] = {
-            "faults": Counter(),    # fault site -> observed count
-            "retries": Counter(),   # fault site -> retried count
-            "degraded": {},         # module name -> reason
-            "fallbacks": 0,         # SK -> RE degradations taken
-        }
+        #: Fault/retry/degradation accounting, one counter taxonomy:
+        #: ``fault.<site>`` / ``retry.<site>`` / ``pipeline.fallbacks``
+        #: counters (see health_report(), the thin view over this).
+        #: Per-pipeline so two pipelines on one context stay exact;
+        #: every increment is mirrored into ``ctx.metrics`` for
+        #: context-wide aggregation.
+        self.metrics = MetricsRegistry()
+        self._degraded: Dict[str, str] = {}  # module name -> reason
+        if trace:
+            self.ctx.enable_tracing(name)
 
     # -- logging -----------------------------------------------------
 
@@ -95,15 +100,27 @@ class Pipeline:
     # -- resilience ----------------------------------------------------
 
     def _record_fault(self, site: str, where: str) -> None:
-        self.health["faults"][site] += 1
+        self.metrics.inc(f"fault.{site}")
+        self.ctx.metrics.inc(f"fault.{site}")
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            tracer.event(f"fault.{site}", "fault", where=where,
+                         pipeline=self.name)
         self._log(f"fault: {site} at {where}")
 
     def _record_retry(self, site: str, where: str, attempt: int,
                       delay: float) -> None:
         # A retried attempt is also an observed fault: both counters
         # move so health_report() never under-reports fault traffic.
-        self.health["faults"][site] += 1
-        self.health["retries"][site] += 1
+        self.metrics.inc(f"fault.{site}")
+        self.metrics.inc(f"retry.{site}")
+        self.ctx.metrics.inc(f"fault.{site}")
+        self.ctx.metrics.inc(f"retry.{site}")
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            tracer.event(f"retry.{site}", "fault", where=where,
+                         attempt=attempt, backoff_ms=delay * 1e3,
+                         pipeline=self.name)
         self._log(f"retry: {where} attempt {attempt} failed at {site}; "
                   f"backing off {delay * 1e3:.2f} ms")
 
@@ -167,8 +184,13 @@ class Pipeline:
             reason = (f"SK compile failed at {site}; running RE "
                       "variant (bit-identical results, unspecialized "
                       "performance)")
-            self.health["fallbacks"] += 1
-            self.health["degraded"][mres.name] = reason
+            self.metrics.inc("pipeline.fallbacks")
+            self.ctx.metrics.inc("pipeline.fallbacks")
+            self._degraded[mres.name] = reason
+            tracer = self.ctx.tracer
+            if tracer is not None:
+                tracer.event(f"degraded.{mres.name}", "fault",
+                             site=site, pipeline=self.name)
             self._log(f"refresh: module {mres.name} DEGRADED to RE "
                       f"({site})")
             return module, True
@@ -178,18 +200,42 @@ class Pipeline:
 
         The error-taxonomy counterpart to :meth:`timing_report`: chaos
         runs and production monitors read this to verify no fault went
-        unobserved.
+        unobserved.  A thin view over :attr:`metrics` — the counters
+        live in the registry as ``fault.<site>`` / ``retry.<site>`` /
+        ``pipeline.fallbacks``; the report keeps its historical keys
+        and bare site names.
         """
         return {
             "pipeline": self.name,
-            "faults": dict(self.health["faults"]),
-            "retries": dict(self.health["retries"]),
-            "degraded": dict(self.health["degraded"]),
-            "fallbacks": self.health["fallbacks"],
+            "faults": {name[len("fault."):]: count
+                       for name, count
+                       in self.metrics.counters("fault.").items()},
+            "retries": {name[len("retry."):]: count
+                        for name, count
+                        in self.metrics.counters("retry.").items()},
+            "degraded": dict(self._degraded),
+            "fallbacks": self.metrics.counter("pipeline.fallbacks"),
             "cache": self.cache.stats(),
             "refreshes": self.refresh_count,
             "iterations": self.iteration,
         }
+
+    def export_trace(self, path: str) -> None:
+        """Write this pipeline's trace as Chrome-trace JSON to *path*.
+
+        Requires ``trace=True`` (or a tracer enabled on the context);
+        embeds the context's :meth:`metrics_snapshot` under
+        ``otherData.metrics``.  Open the file in ``chrome://tracing``
+        or https://ui.perfetto.dev.
+        """
+        tracer = self.ctx.tracer
+        if tracer is None:
+            raise PipelineError(
+                "no tracer on this pipeline's context; construct the "
+                "Pipeline with trace=True (or ctx.enable_tracing())")
+        from repro.obs.export import write_trace
+        write_trace(path, tracer.to_dict(),
+                    metrics=self.ctx.metrics_snapshot())
 
     # -- registration helpers ------------------------------------------
 
@@ -325,7 +371,22 @@ class Pipeline:
 
         Resources realize in creation order, which is dependency order
         because factories require dependencies as constructed objects.
+        Runs with :attr:`ctx` activated, so compile/cache
+        instrumentation that resolves through the current context
+        (:func:`~repro.obs.trace.current_tracer`, fault hooks) charges
+        this pipeline's context even when the caller holds another.
         """
+        tracer = self.ctx.tracer
+        with using_context(self.ctx):
+            if tracer is None:
+                return self._refresh_impl()
+            with tracer.span(f"refresh:{self.name}",
+                             "pipeline") as span:
+                touched = self._refresh_impl()
+                span.attrs["touched"] = touched
+                return touched
+
+    def _refresh_impl(self) -> int:
         started = time.perf_counter()
         touched = 0
         for resource in self.resources.values():
@@ -377,6 +438,17 @@ class Pipeline:
         A refresh happens automatically before the first iteration and
         after any parameter change.
         """
+        tracer = self.ctx.tracer
+        with using_context(self.ctx):
+            if tracer is None:
+                return self._run_impl(iterations)
+            with tracer.span(f"run:{self.name}", "pipeline",
+                             iterations=iterations) as span:
+                total = self._run_impl(iterations)
+                span.attrs["sim_seconds"] = total
+                return total
+
+    def _run_impl(self, iterations: int) -> float:
         total = 0.0
         for _ in range(iterations):
             self.refresh()

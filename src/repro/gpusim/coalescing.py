@@ -102,6 +102,22 @@ def global_transactions_batch(addrs: np.ndarray, mask: np.ndarray,
     return total
 
 
+def launch_transactions(stats) -> "tuple[int, int]":
+    """Total (DRAM transactions, DRAM bytes) over a launch's blocks.
+
+    Sums the coalescing model's per-warp counters across a sequence of
+    :class:`~repro.gpusim.executor.BlockStats` — the aggregate a
+    :class:`~repro.obs.profile.LaunchProfile` reports as the launch's
+    coalesced-traffic totals.
+    """
+    transactions = 0
+    nbytes = 0
+    for block in stats:
+        transactions += block.mem_transactions
+        nbytes += block.mem_bytes
+    return transactions, nbytes
+
+
 def shared_conflict_factor(addrs: np.ndarray, mask: np.ndarray,
                            itemsize: int, device: DeviceSpec) -> int:
     """Replay factor for one warp-wide shared-memory access (≥ 1).

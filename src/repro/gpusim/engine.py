@@ -110,6 +110,7 @@ def run_blocks_batched(kernel: IRKernel, device: DeviceSpec,
     batch_blocks = max(1, batch_blocks)
     stats: List[BlockStats] = []
     injector = ctx.injector
+    tracer = ctx.tracer
     for start in range(0, len(indices), batch_blocks):
         if injector is not None:
             # Fault site: watchdog kill between gang batches.  Earlier
@@ -121,7 +122,13 @@ def run_blocks_batched(kernel: IRKernel, device: DeviceSpec,
                        indices[start:start + batch_blocks], block_dim,
                        grid_dim, dynamic_smem, plan, textures or {},
                        ctx=ctx)
-        stats.extend(batch.run())
+        if tracer is not None:
+            n = min(batch_blocks, len(indices) - start)
+            with tracer.span(f"gang:{kernel.name}", "engine",
+                             batch_start=start, blocks=n):
+                stats.extend(batch.run())
+        else:
+            stats.extend(batch.run())
     return stats
 
 
@@ -415,14 +422,21 @@ class _Batch:
         return [BlockStats(warps=list(c.warp_stats)) for c in self.ctxs]
 
 
+#: Per-member event-counter vectors a gang warp carries; one name per
+#: :class:`~repro.gpusim.executor.WarpStats` field.  Any stat added to
+#: WarpStats must be counted here AND in the serial executor's matching
+#: path — the engines' bit-identity contract covers stats too.
+_GANG_STAT_NAMES = ("issue_cycles", "instructions", "mem_transactions",
+                    "mem_bytes", "global_stalls", "shared_stalls",
+                    "barriers", "divergent_branches", "atomics")
+
+
 class _GangWarp:
     """One warp position of M blocks executing in lockstep."""
 
     __slots__ = ("batch", "wid", "ctxs", "M", "slots", "lane_mask",
                  "regs", "stack", "specials", "outstanding", "locals_",
-                 "finished", "at_barrier", "issue_cycles", "instructions",
-                 "mem_transactions", "mem_bytes", "global_stalls",
-                 "shared_stalls", "barriers", "divergent_branches")
+                 "finished", "at_barrier") + _GANG_STAT_NAMES
 
     def __init__(self, batch: _Batch, wid: int, ctxs: List[_BlockCtx]):
         self.batch = batch
@@ -449,25 +463,15 @@ class _GangWarp:
         self.locals_ = ([FlatMemory(local_bytes * WARP, "local")
                          for _ in ctxs] if local_bytes else None)
         self.issue_cycles = np.zeros(M, np.float64)
-        self.instructions = np.zeros(M, np.int64)
-        self.mem_transactions = np.zeros(M, np.int64)
-        self.mem_bytes = np.zeros(M, np.int64)
-        self.global_stalls = np.zeros(M, np.int64)
-        self.shared_stalls = np.zeros(M, np.int64)
-        self.barriers = np.zeros(M, np.int64)
-        self.divergent_branches = np.zeros(M, np.int64)
+        for name in _GANG_STAT_NAMES[1:]:
+            setattr(self, name, np.zeros(M, np.int64))
 
     def finalize(self) -> None:
         for i, ctx in enumerate(self.ctxs):
             ctx.warp_stats[self.wid] = WarpStats(
                 issue_cycles=float(self.issue_cycles[i]),
-                instructions=int(self.instructions[i]),
-                mem_transactions=int(self.mem_transactions[i]),
-                mem_bytes=int(self.mem_bytes[i]),
-                global_stalls=int(self.global_stalls[i]),
-                shared_stalls=int(self.shared_stalls[i]),
-                barriers=int(self.barriers[i]),
-                divergent_branches=int(self.divergent_branches[i]))
+                **{name: int(getattr(self, name)[i])
+                   for name in _GANG_STAT_NAMES[1:]})
 
     # -- gang splitting ------------------------------------------------
 
@@ -491,9 +495,7 @@ class _GangWarp:
                        if self.locals_ else None)
         sib.finished = self.finished
         sib.at_barrier = self.at_barrier
-        for name in ("issue_cycles", "instructions", "mem_transactions",
-                     "mem_bytes", "global_stalls", "shared_stalls",
-                     "barriers", "divergent_branches"):
+        for name in _GANG_STAT_NAMES:
             setattr(sib, name, getattr(self, name)[sel])
         return sib
 
@@ -510,9 +512,7 @@ class _GangWarp:
             self.specials[key] = self.specials[key][sel]
         if self.locals_:
             self.locals_ = [m for m, s in zip(self.locals_, sel) if s]
-        for name in ("issue_cycles", "instructions", "mem_transactions",
-                     "mem_bytes", "global_stalls", "shared_stalls",
-                     "barriers", "divergent_branches"):
+        for name in _GANG_STAT_NAMES:
             setattr(self, name, getattr(self, name)[sel])
 
     # -- operand plumbing ----------------------------------------------
@@ -827,6 +827,7 @@ class _GangWarp:
             np.add.at(view, gidx[mask], value[mask])
         self._write(p, old, mask, covers)
         self.issue_cycles += device.issue_cost["atom"]
+        self.atomics += 1
         if space == "global":
             txns = self._global_txns(addrs, mask, itemsize)
             self.mem_transactions += txns

@@ -59,6 +59,7 @@ class WarpStats:
     shared_stalls: int = 0
     barriers: int = 0
     divergent_branches: int = 0
+    atomics: int = 0
 
 
 @dataclass
@@ -251,7 +252,13 @@ def plan_for(kernel: IRKernel, device: DeviceSpec,
         ctx.plan_stats["hits"] += 1
         return plan
     ctx.plan_stats["misses"] += 1
-    plan = KernelPlan(kernel, device)
+    tracer = ctx.tracer
+    if tracer is not None:
+        with tracer.span(f"plan:{kernel.name}", "plan",
+                         device=device.name):
+            plan = KernelPlan(kernel, device)
+    else:
+        plan = KernelPlan(kernel, device)
     ctx.plan_cache[key] = plan
     weakref.finalize(kernel, ctx.plan_cache.pop, key, None)
     return plan
@@ -566,6 +573,7 @@ class _Warp:
         np.add.at(view, idx[mask], self.read(p.srcs[1])[mask])
         self.write(p, old, mask, covers)
         stats.issue_cycles += device.issue_cost["atom"]
+        stats.atomics += 1
         if space == "global":
             txn = coalescing.global_transactions(addrs, mask, itemsize,
                                                  device)

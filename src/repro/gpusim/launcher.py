@@ -30,6 +30,7 @@ from repro.gpusim.occupancy import Occupancy, occupancy
 from repro.gpusim.timing import Timing, kernel_timing
 from repro.kernelc import typesys as T
 from repro.kernelc.compiler import CompiledKernel, CompiledModule
+from repro.obs.profile import LaunchProfile
 
 Dim = Union[int, Tuple[int, ...]]
 
@@ -51,6 +52,9 @@ class LaunchResult:
     block: Tuple[int, int, int]
     blocks_executed: int
     stats: List[BlockStats] = field(default_factory=list)
+    #: Per-launch micro-profile; populated only when the owning
+    #: context is tracing (``ctx.tracer`` is not None).
+    profile: Optional["LaunchProfile"] = None
 
     @property
     def seconds(self) -> float:
@@ -197,10 +201,52 @@ class GPU:
                 / ``"auto"`` uses :func:`repro.gpusim.default_engine`.
                 Both produce bit-identical memory, stats and timing.
 
+        When the owning context is tracing, the launch records a
+        ``launch:<kernel>`` span (with the engine's ``gang:*`` child
+        spans inside it) and attaches a
+        :class:`~repro.obs.profile.LaunchProfile` to both the span and
+        ``result.profile``; untraced launches skip all of it behind
+        one ``ctx.tracer is None`` test.
+
         Raises:
             SimError / OccupancyError: invalid configuration or a
                 runtime fault in the kernel.
         """
+        tracer = self.ctx.tracer
+        if tracer is None:
+            return self._launch_impl(kernel, grid, block, args,
+                                     dynamic_smem, functional,
+                                     sample_blocks, engine)
+        resolved = resolve_engine(engine, ctx=self.ctx)
+        grid3 = _as_dim3(grid)
+        block3 = _as_dim3(block)
+        with tracer.span(
+                f"launch:{kernel.name}", "launch",
+                grid="x".join(str(v) for v in grid3),
+                block="x".join(str(v) for v in block3),
+                engine=resolved, functional=functional) as span:
+            result = self._launch_impl(kernel, grid, block, args,
+                                       dynamic_smem, functional,
+                                       sample_blocks, engine)
+            profile = LaunchProfile.from_launch(kernel, result, resolved)
+            result.profile = profile
+            tracer.profiles.append(profile)
+            span.attrs.update(profile.attrs())
+        metrics = self.ctx.metrics
+        metrics.inc("launch.count")
+        metrics.observe("launch.cycles", profile.cycles)
+        metrics.observe("launch.occupancy", profile.occupancy)
+        metrics.observe("launch.mem_transactions",
+                        profile.mem_transactions)
+        return result
+
+    def _launch_impl(self, kernel: CompiledKernel, grid: Dim,
+                     block: Dim, args: Sequence[object],
+                     dynamic_smem: int = 0,
+                     functional: bool = True,
+                     sample_blocks: int = 8,
+                     engine: Optional[str] = None) -> LaunchResult:
+        """The untraced launch path (see :meth:`launch`)."""
         engine = resolve_engine(engine, ctx=self.ctx)
         grid3 = _as_dim3(grid)
         block3 = _as_dim3(block)

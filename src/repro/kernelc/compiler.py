@@ -120,6 +120,24 @@ def nvcc(source: str,
     Raises:
         CompileError: wrapping any preprocessor/parse/lowering failure.
     """
+    from repro.obs.trace import current_tracer
+    tracer = current_tracer()
+    if tracer is None:
+        return _nvcc_impl(source, defines, arch, opt_level, headers,
+                          unroll, max_unroll)
+    with tracer.span("nvcc", "compile", arch=arch,
+                     opt_level=opt_level,
+                     defines=",".join(sorted(defines or {}))) as span:
+        module = _nvcc_impl(source, defines, arch, opt_level, headers,
+                            unroll, max_unroll)
+        span.attrs["kernels"] = ",".join(sorted(module.kernels))
+        span.attrs["compile_ms"] = module.compile_seconds * 1e3
+        return module
+
+
+def _nvcc_impl(source, defines, arch, opt_level, headers, unroll,
+               max_unroll) -> CompiledModule:
+    """The untraced compile path (see :func:`nvcc`)."""
     if arch not in ARCH_MACROS:
         raise CompileError(f"unknown arch {arch!r}; expected one of "
                            f"{sorted(ARCH_MACROS)}")

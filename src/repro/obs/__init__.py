@@ -1,0 +1,28 @@
+"""Observability: context-scoped tracing, metrics, launch profiles.
+
+The subsystem the dissertation's timing/occupancy tables imply: every
+:class:`~repro.runtime.context.ExecutionContext` owns a
+:class:`MetricsRegistry` (always on — counters are cheap and exact) and
+an optional :class:`Tracer` (off by default; ``trace=True`` switches on
+:class:`~repro.gpupf.pipeline.Pipeline`,
+:class:`~repro.apps.harness.RunRequest`, and
+:class:`~repro.tuning.sweep.Sweeper` enable it).  Traced launches emit
+:class:`LaunchProfile` records; exporters render Chrome/Perfetto JSON,
+text summaries, and metric tables; ``python -m repro.obs.report``
+inspects and validates exported traces.
+
+See DESIGN.md §8 for the span taxonomy and metric namespace.
+"""
+
+from repro.obs.export import (chrome_trace, metrics_table, summary_tree,
+                              validate_chrome, write_trace)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import LaunchProfile
+from repro.obs.trace import Span, Tracer, current_tracer
+
+__all__ = [
+    "Tracer", "Span", "current_tracer",
+    "MetricsRegistry", "LaunchProfile",
+    "chrome_trace", "write_trace", "validate_chrome",
+    "summary_tree", "metrics_table",
+]

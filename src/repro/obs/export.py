@@ -1,0 +1,196 @@
+"""Trace exporters: Chrome/Perfetto JSON, text summaries, validation.
+
+Three renderings of a :meth:`Tracer.to_dict` export (the picklable
+``{"name", "spans"}`` form — every function here consumes that dict,
+never a live :class:`~repro.obs.trace.Tracer`):
+
+* :func:`chrome_trace` / :func:`write_trace` — the Chrome Trace Event
+  JSON format (``chrome://tracing``, https://ui.perfetto.dev): one
+  complete (``"ph": "X"``) event per span with microsecond
+  timestamps, plus instantaneous (``"ph": "i"``) events for
+  zero-duration fault/retry marks.  Span ``sid``/``parent`` ride in
+  ``args`` so the tree can be reconstructed from the JSON alone.
+* :func:`summary_tree` — plain-text hierarchical summary via
+  :func:`repro.reporting.format_table`.
+* :func:`metrics_table` — a :meth:`MetricsRegistry.snapshot` rendered
+  as text.
+
+:func:`validate_chrome` checks an exported document against the schema
+the other tools rely on and returns a list of problems (empty = valid);
+``python -m repro.obs.report --check`` is a thin CLI over it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.reporting import format_table
+
+__all__ = ["chrome_trace", "write_trace", "validate_chrome",
+           "summary_tree", "metrics_table"]
+
+#: Span categories with zero duration exported as instant events.
+_INSTANT_CATS = frozenset({"event", "fault", "cache"})
+
+
+def chrome_trace(exported: Dict[str, Any],
+                 metrics: Optional[Dict[str, Any]] = None,
+                 pid: int = 1) -> Dict[str, Any]:
+    """Render a tracer export as a Chrome Trace Event document.
+
+    *metrics* (a :meth:`MetricsRegistry.snapshot`) is embedded under
+    ``otherData.metrics`` so one file carries the whole run.
+    """
+    events: List[Dict[str, Any]] = []
+    for span in exported.get("spans", []):
+        args = dict(span["attrs"])
+        args["sid"] = span["sid"]
+        if span["parent"] is not None:
+            args["parent"] = span["parent"]
+        event = {"name": span["name"], "cat": span["cat"],
+                 "ts": span["start"] * 1e6, "pid": pid,
+                 "tid": span["tid"], "args": args}
+        if span["dur"] == 0.0 and span["cat"] in _INSTANT_CATS:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = span["dur"] * 1e6
+        events.append(event)
+    other: Dict[str, Any] = {"trace_name": exported.get("name", "trace")}
+    if metrics is not None:
+        other["metrics"] = metrics
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def write_trace(path: str, exported: Dict[str, Any],
+                metrics: Optional[Dict[str, Any]] = None) -> None:
+    """Write the Chrome-trace JSON for *exported* to *path*."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(exported, metrics=metrics), fh, indent=1)
+        fh.write("\n")
+
+
+def validate_chrome(doc: Any) -> List[str]:
+    """Schema-check a Chrome-trace document; return problems found.
+
+    Validates the envelope, the per-event required fields, phase-
+    specific fields (``dur`` for ``X``, ``s`` for ``i``), and — for
+    events carrying ``args.sid``/``args.parent`` — that parents exist
+    and every child interval nests inside its parent (an sid is never
+    reused).
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    spans_by_sid: Dict[int, Dict[str, Any]] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key, types in (("name", str), ("cat", str),
+                           ("ph", str), ("ts", (int, float)),
+                           ("pid", int), ("tid", int)):
+            if not isinstance(ev.get(key), types):
+                problems.append(f"{where}: bad or missing {key!r}")
+        ph = ev.get("ph")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) \
+                    or ev.get("dur", 0) < 0:
+                problems.append(f"{where}: complete event needs "
+                                f"non-negative 'dur'")
+        elif ph == "i":
+            if ev.get("s") not in ("g", "p", "t"):
+                problems.append(f"{where}: instant event needs scope "
+                                f"'s' in g/p/t")
+        elif isinstance(ph, str):
+            problems.append(f"{where}: unsupported phase {ph!r}")
+        args = ev.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: 'args' must be an object")
+            continue
+        sid = (args or {}).get("sid")
+        if sid is not None:
+            if sid in spans_by_sid:
+                problems.append(f"{where}: duplicate sid {sid}")
+            else:
+                spans_by_sid[sid] = ev
+    for sid, ev in spans_by_sid.items():
+        parent = ev["args"].get("parent")
+        if parent is None:
+            continue
+        pev = spans_by_sid.get(parent)
+        if pev is None:
+            problems.append(f"sid {sid}: orphan parent {parent}")
+            continue
+        if pev.get("ph") != "X":
+            continue
+        p0, p1 = pev["ts"], pev["ts"] + pev.get("dur", 0)
+        c0 = ev["ts"]
+        c1 = c0 + (ev.get("dur", 0) if ev.get("ph") == "X" else 0)
+        # Timestamps come from float subtraction; allow 1 µs slack.
+        if c0 < p0 - 1 or c1 > p1 + 1:
+            problems.append(
+                f"sid {sid}: interval [{c0:.1f}, {c1:.1f}] escapes "
+                f"parent {parent} [{p0:.1f}, {p1:.1f}]")
+    return problems
+
+
+def summary_tree(exported: Dict[str, Any],
+                 title: Optional[str] = None) -> str:
+    """Plain-text hierarchical span summary (indent = tree depth)."""
+    spans = exported.get("spans", [])
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span["parent"], []).append(span)
+    rows: List[List[Any]] = []
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        ms = span["dur"] * 1e3
+        rows.append(["  " * depth + span["name"], span["cat"],
+                     f"{ms:.3f}", _attr_note(span["attrs"])])
+        for child in children.get(span["sid"], []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return format_table(
+        ["span", "cat", "ms", "attrs"], rows,
+        title=title or f"trace: {exported.get('name', 'trace')} "
+                       f"({len(spans)} spans)")
+
+
+def _attr_note(attrs: Dict[str, Any], limit: int = 56) -> str:
+    parts = []
+    for key, value in attrs.items():
+        if key in ("sid", "parent"):
+            continue
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    note = " ".join(parts)
+    return note if len(note) <= limit else note[:limit - 1] + "…"
+
+
+def metrics_table(snapshot: Dict[str, Any],
+                  title: str = "metrics") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as aligned text."""
+    rows: List[List[Any]] = []
+    for name in sorted(snapshot.get("counters", {})):
+        rows.append([name, "counter",
+                     snapshot["counters"][name], ""])
+    for name in sorted(snapshot.get("gauges", {})):
+        rows.append([name, "gauge", snapshot["gauges"][name], ""])
+    for name in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][name]
+        rows.append([name, "histogram", h["count"],
+                     f"mean={h['mean']:.4g} min={h['min']:.4g} "
+                     f"max={h['max']:.4g}"])
+    return format_table(["metric", "kind", "value", "detail"], rows,
+                        title=title)

@@ -1,0 +1,129 @@
+"""Named counters, gauges, and histograms with one ``snapshot()``.
+
+`MetricsRegistry` generalizes the stack's ad-hoc counter dicts —
+`ExecutionContext.bump()`, `Pipeline.health`'s per-site Counters,
+`Sweeper`'s error taxonomy — into one taxonomy of named instruments:
+
+* **counters** — monotonically increasing ints (`inc`), e.g.
+  ``fault.launch``, ``retry.compile``, ``sweep.cells``;
+* **gauges** — last-written values (`gauge`), e.g.
+  ``pipeline.iterations``;
+* **histograms** — running (count, sum, min, max) summaries
+  (`observe`), e.g. ``launch.cycles``.
+
+Metric names follow the context counter convention documented in
+:mod:`repro.runtime.context`: dotted ``subsystem.event`` (see
+GLOSSARY.md).  The registry is thread-safe; a registry lives on each
+:class:`~repro.runtime.context.ExecutionContext` (``ctx.metrics``) so
+concurrent sweeps with private contexts never share instruments.
+Unlike the tracer, the registry is always present — incrementing a
+Counter under a lock is cheap enough that counters stay exact whether
+or not tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters/gauges/histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Counter = Counter()
+        self._gauges: Dict[str, float] = {}
+        # name -> [count, sum, min, max]
+        self._hists: Dict[str, list] = {}
+
+    # -- instruments ---------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* by *amount* (default 1)."""
+        with self._lock:
+            self._counters[name] += amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into histogram *name*."""
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                self._hists[name] = [1, value, value, value]
+            else:
+                h[0] += 1
+                h[1] += value
+                if value < h[2]:
+                    h[2] = value
+                if value > h[3]:
+                    h[3] = value
+
+    # -- reading -------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """Counters as a plain dict, optionally filtered by *prefix*."""
+        with self._lock:
+            if not prefix:
+                return dict(self._counters)
+            return {k: v for k, v in self._counters.items()
+                    if k.startswith(prefix)}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One coherent view of every instrument.
+
+        Returns ``{"counters": {name: int}, "gauges": {name: float},
+        "histograms": {name: {"count","sum","mean","min","max"}}}``.
+        All values are plain JSON types; the dict is safe to pickle,
+        merge, or dump.
+        """
+        with self._lock:
+            hists = {
+                name: {"count": h[0], "sum": h[1],
+                       "mean": h[1] / h[0], "min": h[2], "max": h[3]}
+                for name, h in self._hists.items()
+            }
+            return {"counters": dict(self._counters),
+                    "gauges": dict(self._gauges),
+                    "histograms": hists}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add; gauges last-write-win; histograms combine their
+        (count, sum, min, max) summaries.  Used to aggregate metrics
+        shipped back from process-pool workers.
+        """
+        with self._lock:
+            for name, v in (snapshot.get("counters") or {}).items():
+                self._counters[name] += v
+            self._gauges.update(snapshot.get("gauges") or {})
+            for name, h in (snapshot.get("histograms") or {}).items():
+                mine = self._hists.get(name)
+                if mine is None:
+                    self._hists[name] = [h["count"], h["sum"],
+                                         h["min"], h["max"]]
+                else:
+                    mine[0] += h["count"]
+                    mine[1] += h["sum"]
+                    if h["min"] < mine[2]:
+                        mine[2] = h["min"]
+                    if h["max"] > mine[3]:
+                        mine[3] = h["max"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (f"<MetricsRegistry counters={len(self._counters)} "
+                    f"gauges={len(self._gauges)} "
+                    f"hists={len(self._hists)}>")

@@ -1,0 +1,118 @@
+"""CLI over exported traces: summarize, validate, demo.
+
+::
+
+    python -m repro.obs.report trace.json           # span tree + metrics
+    python -m repro.obs.report --check trace.json   # schema validation
+    python -m repro.obs.report --metrics trace.json # metrics table only
+    python -m repro.obs.report --demo trace.json    # trace a small
+        # template-matching run and write its Chrome-trace JSON
+
+The input is the Chrome-trace document written by
+:func:`repro.obs.export.write_trace` (open it in ``chrome://tracing``
+or https://ui.perfetto.dev); ``--check`` exits non-zero and lists the
+problems when the document does not conform.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.obs.export import (metrics_table, summary_tree,
+                              validate_chrome, write_trace)
+
+
+def _spans_from_chrome(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Reverse :func:`chrome_trace` into a tracer-export dict."""
+    spans = []
+    for ev in doc.get("traceEvents", []):
+        args = dict(ev.get("args") or {})
+        sid = args.pop("sid", None)
+        parent = args.pop("parent", None)
+        if sid is None:
+            continue
+        spans.append({"sid": sid, "parent": parent,
+                      "name": ev.get("name", "?"),
+                      "cat": ev.get("cat", "default"),
+                      "start": ev.get("ts", 0.0) / 1e6,
+                      "dur": ev.get("dur", 0.0) / 1e6,
+                      "tid": ev.get("tid", 0), "attrs": args})
+    name = (doc.get("otherData") or {}).get("trace_name", "trace")
+    return {"name": name, "spans": spans}
+
+
+def _run_demo(path: str) -> None:
+    """Trace one small template-matching run and write it to *path*."""
+    from repro.apps.harness import (ProblemSpec, RunRequest,
+                                    run_request)
+    from repro.apps.template_matching import MatchConfig, MatchProblem
+
+    problem = MatchProblem("obs-demo", frame_h=60, frame_w=80,
+                           tmpl_h=16, tmpl_w=12, shift_h=5, shift_w=5,
+                           n_frames=1)
+    spec = ProblemSpec("template_matching", problem, seed=11,
+                       memory_bytes=8 << 20)
+    config = MatchConfig(tile_w=8, tile_h=8, threads=32)
+    result = run_request(RunRequest(spec, config, trace=True))
+    write_trace(path, result.trace, metrics=result.metrics)
+    launches = len(result.profiles)
+    print(f"wrote {path}: {len(result.trace['spans'])} spans, "
+          f"{launches} kernel launches profiled, "
+          f"{result.seconds * 1e3:.3f} ms simulated")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Inspect / validate exported Chrome-trace JSON.")
+    parser.add_argument("trace", help="path to the trace JSON file")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the document schema; exit 1 "
+                             "with a problem list if invalid")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print only the embedded metrics table")
+    parser.add_argument("--demo", action="store_true",
+                        help="run a small traced template-matching "
+                             "pipeline and write its trace to TRACE")
+    opts = parser.parse_args(argv)
+
+    if opts.demo:
+        _run_demo(opts.trace)
+        return 0
+
+    try:
+        with open(opts.trace) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {opts.trace}: {exc}", file=sys.stderr)
+        return 2
+
+    if opts.check:
+        problems = validate_chrome(doc)
+        if problems:
+            print(f"{opts.trace}: INVALID "
+                  f"({len(problems)} problems)")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        events = doc.get("traceEvents", [])
+        print(f"{opts.trace}: ok ({len(events)} events)")
+        return 0
+
+    metrics = (doc.get("otherData") or {}).get("metrics")
+    if not opts.metrics:
+        print(summary_tree(_spans_from_chrome(doc)))
+    if metrics:
+        if not opts.metrics:
+            print()
+        print(metrics_table(metrics))
+    elif opts.metrics:
+        print("(no metrics embedded in this trace)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -14,7 +14,19 @@ globals lives here as instance state:
 * the compiled-kernel binary cache
   (:class:`repro.gpupf.cache.KernelCache`),
 * the fault injector (:mod:`repro.faults.hooks`),
-* a free-form per-context counter registry (:meth:`bump`).
+* the metrics registry and optional tracer (:mod:`repro.obs`) behind
+  the free-form counter API (:meth:`bump`).
+
+**Counter namespace convention.**  Free-form counter and metric names
+are dotted ``subsystem.event`` strings — ``fault.launch.fail``,
+``retry.nvcc.compile``, ``sweep.cells``, ``error.SimError``,
+``cache.plan_hits`` — so one flat :meth:`MetricsRegistry.snapshot`
+stays greppable by prefix and collision-free across subsystems (see
+GLOSSARY.md "counter namespace").  :meth:`cache_counters` predates the
+convention and keeps its flat underscore keys (``plan_hits`` ...)
+because sweep delta-accounting and tests depend on them verbatim; the
+namespaced equivalents appear under ``cache.*`` in
+:meth:`metrics_snapshot`.
 
 A process-wide *default* context preserves every legacy entry point:
 module-level shims (``fault_hooks.ACTIVE``, ``plan_cache_stats()``,
@@ -33,6 +45,10 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Union
 
 from repro.faults.plan import FaultInjector, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpusim.device import DeviceSpec
@@ -84,8 +100,13 @@ class ExecutionContext:
         self.gang_stats: Dict[str, int] = {"hits": 0, "misses": 0}
         #: (grid3, sample_blocks) -> representative block picks.
         self.sample_cache: Dict = {}
-        #: Free-form per-context counters (sweep bookkeeping etc.).
-        self.counters: Counter = Counter()
+        #: Named counters/gauges/histograms (``subsystem.event`` keys;
+        #: always on — see the module docstring).
+        self.metrics = MetricsRegistry()
+        #: Structured span recorder; None = tracing off (the
+        #: zero-overhead sentinel, like ``injector``).  Hot paths must
+        #: only ever do ``if ctx.tracer is not None:``.
+        self.tracer: Optional["Tracer"] = None
         self._fault_lock = threading.Lock()
 
     # -- engine selection ----------------------------------------------
@@ -145,18 +166,71 @@ class ExecutionContext:
         self.sample_cache.clear()
 
     def cache_counters(self) -> Dict[str, int]:
-        """Flat, namespaced cache counters for delta accounting."""
+        """Plan/gang cache counters for exact delta accounting.
+
+        Returns the four flat keys ``plan_hits`` / ``plan_misses`` /
+        ``gang_hits`` / ``gang_misses`` — historical underscore names,
+        NOT the dotted ``subsystem.event`` convention, because
+        :class:`~repro.tuning.sweep.Sweeper` delta-accounting and its
+        tests compare these dicts verbatim.  The namespaced ``cache.*``
+        spellings live in :meth:`metrics_snapshot`.
+        """
         return {"plan_hits": self.plan_stats["hits"],
                 "plan_misses": self.plan_stats["misses"],
                 "gang_hits": self.gang_stats["hits"],
                 "gang_misses": self.gang_stats["misses"]}
 
-    # -- stats registry --------------------------------------------------
+    # -- observability ---------------------------------------------------
+
+    def enable_tracing(self, name: Optional[str] = None) -> "Tracer":
+        """Attach (or return) this context's :class:`Tracer`.
+
+        Idempotent: a second call returns the existing tracer so
+        nested ``trace=True`` layers (harness inside sweep inside
+        pipeline) share one span tree.
+        """
+        if self.tracer is None:
+            from repro.obs.trace import Tracer
+            self.tracer = Tracer(name or f"{self.name}")
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        """Detach the tracer (idempotent); recorded spans are dropped."""
+        self.tracer = None
 
     def bump(self, counter: str, n: int = 1) -> int:
-        """Increment a named per-context counter; returns the new value."""
-        self.counters[counter] += n
-        return self.counters[counter]
+        """Increment a named per-context counter; returns the new value.
+
+        *counter* should follow the ``subsystem.event`` namespace
+        convention (module docstring).  Delegates to
+        :attr:`metrics` — ``bump`` is the legacy spelling of
+        ``ctx.metrics.inc``.
+        """
+        self.metrics.inc(counter, n)
+        return self.metrics.counter(counter)
+
+    @property
+    def counters(self) -> Counter:
+        """Legacy view of the registry's counters (read-only copy)."""
+        return Counter(self.metrics.counters())
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The registry snapshot plus the cache counters, one taxonomy.
+
+        Merges :meth:`MetricsRegistry.snapshot` with the plan/gang
+        cache counters (as ``cache.plan_hits`` ...) and the kernel
+        cache's stats (``cache.kernel_hits`` ...), so one dict answers
+        every "how many" question about this context.
+        """
+        snap = self.metrics.snapshot()
+        counters = snap["counters"]
+        for key, value in self.cache_counters().items():
+            counters[f"cache.{key}"] = counters.get(f"cache.{key}", 0) \
+                + value
+        for key, value in self.kernel_cache.stats().items():
+            counters[f"cache.kernel_{key}"] = \
+                counters.get(f"cache.kernel_{key}", 0) + value
+        return snap
 
     def stats(self) -> Dict[str, object]:
         """Everything countable about this context, namespaced."""
@@ -167,7 +241,7 @@ class ExecutionContext:
             "plan": dict(self.plan_stats, size=len(self.plan_cache)),
             "gang": dict(self.gang_stats),
             "kernel_cache": self.kernel_cache.stats(),
-            "counters": dict(self.counters),
+            "counters": self.metrics.counters(),
         }
 
     # -- activation ------------------------------------------------------

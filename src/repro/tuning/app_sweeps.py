@@ -55,6 +55,10 @@ class HarnessRunner:
     functional: bool = False
     engine: Optional[str] = None
     fault_plan: Optional[FaultPlan] = None
+    #: Trace each evaluation inside its private context; the span
+    #: export and metrics snapshot ride the record back (the Sweeper
+    #: grafts them into its own trace as ``cell:<index>`` subtrees).
+    trace: bool = False
 
     def __call__(self, config: dict) -> SweepRecord:
         harness = get_harness(self.app)
@@ -63,12 +67,15 @@ class HarnessRunner:
             sample_blocks=self.sample_blocks,
             functional=self.functional, engine=self.engine)
         result = run_request(RunRequest(self.spec, app_config,
-                                        fault_plan=self.fault_plan))
+                                        fault_plan=self.fault_plan,
+                                        trace=self.trace))
         return SweepRecord(config=config, seconds=result.seconds,
                            reg_count=result.reg_count,
                            occupancy=result.occupancy,
                            counters=result.counters,
-                           faults=result.faults)
+                           faults=result.faults,
+                           trace=result.trace,
+                           metrics=result.metrics)
 
 
 def harness_sweep(app: str, problem, axes: Mapping[str, Iterable], *,
@@ -79,20 +86,23 @@ def harness_sweep(app: str, problem, axes: Mapping[str, Iterable], *,
                   engine: Optional[str] = None,
                   fault_plan: Optional[FaultPlan] = None,
                   jobs: int = 1, pool: str = "thread",
-                  start_method: Optional[str] = None) -> Sweeper:
+                  start_method: Optional[str] = None,
+                  trace: bool = False) -> Sweeper:
     """Sweep *axes* for one app via the picklable harness protocol.
 
     Returns the :class:`Sweeper` after running, so callers read
-    ``.records`` (grid order) and the exact ``.cache_report``.
+    ``.records`` (grid order) and the exact ``.cache_report``.  With
+    ``trace=True`` every cell is traced in its worker (thread or
+    process) and the sweeper's own trace aggregates the cells.
     """
     spec = ProblemSpec(app, problem, seed=seed, device=device,
                        memory_bytes=memory_bytes)
     runner = HarnessRunner(app, spec, specialize=specialize,
                            sample_blocks=sample_blocks,
                            functional=functional, engine=engine,
-                           fault_plan=fault_plan)
+                           fault_plan=fault_plan, trace=trace)
     sweeper = Sweeper(runner, jobs=jobs, pool=pool,
-                      start_method=start_method)
+                      start_method=start_method, trace=trace)
     sweeper.sweep(grid_configs(**{k: list(v) for k, v in axes.items()}))
     return sweeper
 

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import pickle
-from collections import Counter
 from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
                                 as_completed)
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+from repro.reporting import format_table
 from repro.runtime.context import ExecutionContext, using_context
 
 POOLS = ("thread", "process")
@@ -34,6 +35,14 @@ class SweepRecord:
     #: site -> fired count from the run's fault injector (chaos
     #: sweeps); empty when no fault plan was installed.
     faults: Dict[str, int] = field(default_factory=dict)
+    #: Tracer export from a run that traced in a private context of
+    #: its own (a ``trace=True`` :class:`HarnessRunner` evaluation);
+    #: the owning :class:`Sweeper` grafts it back into its own trace
+    #: as a ``cell:<index>`` subtree.  None for untraced runs.
+    trace: Optional[Dict[str, object]] = None
+    #: The private run context's ``metrics_snapshot()`` (traced
+    #: harness runs only).
+    metrics: Optional[Dict[str, object]] = None
 
     def key(self) -> Tuple:
         return tuple(sorted(self.config.items()))
@@ -86,12 +95,20 @@ class Sweeper:
         start_method: multiprocessing start method for
             ``pool="process"`` (None = platform default; ``"spawn"``
             exercises a cold interpreter per worker).
+        trace: enable the sweep context's tracer.  Every cell records
+            an ``eval:<index>`` span (thread-pool cells become roots on
+            their worker threads); cells that traced inside a private
+            context of their own (a ``trace=True``
+            :class:`~repro.tuning.app_sweeps.HarnessRunner`, including
+            under ``pool="process"``) additionally graft their shipped
+            trace back in as a ``cell:<index>`` subtree.
     """
 
     def __init__(self, run: Callable[[dict], SweepRecord],
                  jobs: int = 1, pool: str = "thread",
                  context: Optional[ExecutionContext] = None,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 trace: bool = False):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if pool not in POOLS:
@@ -105,50 +122,118 @@ class Sweeper:
         #: its plan/gang counters see no other sweep's traffic.
         self.ctx = context or ExecutionContext(name="sweep")
         self.records: List[SweepRecord] = []
-        #: Simulator cache activity attributed to the last ``sweep()``
-        #: call: exact hit/miss deltas for the launch-plan cache and
-        #: the batched engine's gang-prototype cache, summed over the
-        #: sweep context and the per-record private contexts.  A
-        #: healthy sweep over one kernel shows ~1 miss and hits for
-        #: every other launch.
-        self.cache_report: Dict[str, int] = {}
+        #: The sweep-level instrument registry (one counter taxonomy,
+        #: see GLOSSARY "counter namespace"): ``cache.*`` gauges hold
+        #: the last call's cache deltas, ``sweep.calls`` /
+        #: ``sweep.cells`` / ``error.<class>`` counters accumulate, and
+        #: the ``sweep.cell_seconds`` histogram summarizes valid cells'
+        #: modeled time.  :attr:`cache_report` and
+        #: :meth:`error_taxonomy` are thin views over it.
+        self.metrics = MetricsRegistry()
+        if trace:
+            self.ctx.enable_tracing("sweep")
 
-    def _eval(self, config: dict) -> SweepRecord:
+    def _eval(self, index: int, config: dict) -> SweepRecord:
         with using_context(self.ctx):
-            return _eval_config(self.run, config)
+            tracer = self.ctx.tracer
+            if tracer is None:
+                record = _eval_config(self.run, config)
+            else:
+                with tracer.span(f"eval:{index}", "sweep",
+                                 config=_config_note(config)) as span:
+                    record = _eval_config(self.run, config)
+                    span.attrs["valid"] = record.valid
+                    if record.valid:
+                        span.attrs["sim_seconds"] = record.seconds
+            record.index = index
+            return record
 
     def sweep(self, configs: Iterable[dict]) -> List[SweepRecord]:
         configs = list(configs)
         before = self.ctx.cache_counters()
+        tracer = self.ctx.tracer
         new: List[SweepRecord] = []
         try:
-            if self.jobs == 1 or len(configs) <= 1:
-                for index, config in enumerate(configs):
-                    record = self._eval(config)
-                    record.index = index
-                    new.append(record)
-            elif self.pool == "process":
-                new = self._sweep_process(configs)
+            if tracer is None:
+                new = self._eval_all(configs)
             else:
-                # Worker threads each evaluate whole configurations
-                # under the sweep's context; the run function builds
-                # its own GPU per call, so workers never share
-                # simulator buffers.
-                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                    new = list(pool.map(self._eval, configs))
-                for index, record in enumerate(new):
-                    record.index = index
-            # Grid order regardless of pool type or completion order.
-            new.sort(key=lambda r: r.index)
+                with tracer.span("sweep", "sweep", cells=len(configs),
+                                 jobs=self.jobs, pool=self.pool):
+                    new = self._eval_all(configs)
+                    # Per-cell aggregation: harness/process cells
+                    # traced in their own private context; fold each
+                    # shipped trace in as a child subtree, grid order.
+                    for record in new:
+                        if record.trace:
+                            tracer.graft(record.trace,
+                                         f"cell:{record.index}",
+                                         index=record.index,
+                                         valid=record.valid)
             self.records.extend(new)
             return self.records
         finally:
-            after = self.ctx.cache_counters()
-            report = {k: after[k] - before[k] for k in after}
-            for record in new:
-                for k, v in record.counters.items():
-                    report[k] = report.get(k, 0) + v
-            self.cache_report = report
+            self._account(new, before)
+
+    def _eval_all(self, configs: List[dict]) -> List[SweepRecord]:
+        if self.jobs == 1 or len(configs) <= 1:
+            new = [self._eval(i, c) for i, c in enumerate(configs)]
+        elif self.pool == "process":
+            new = self._sweep_process(configs)
+        else:
+            # Worker threads each evaluate whole configurations
+            # under the sweep's context; the run function builds
+            # its own GPU per call, so workers never share
+            # simulator buffers.
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                new = list(pool.map(self._eval, range(len(configs)),
+                                    configs))
+        # Grid order regardless of pool type or completion order.
+        new.sort(key=lambda r: r.index)
+        return new
+
+    def _account(self, new: List[SweepRecord],
+                 before: Dict[str, int]) -> None:
+        """Fold a finished ``sweep()`` call into :attr:`metrics`.
+
+        Cache deltas — the launch-plan and gang-prototype hit/miss
+        traffic of this call, summed over the sweep context and the
+        per-record private contexts — land as ``cache.*`` gauges
+        (last call wins, which is exactly what :attr:`cache_report`
+        reports); cell and error-class counts accumulate as counters.
+        A healthy sweep over one kernel shows ~1 miss and hits for
+        every other launch.
+        """
+        after = self.ctx.cache_counters()
+        report = {k: after[k] - before[k] for k in after}
+        for record in new:
+            for k, v in record.counters.items():
+                report[k] = report.get(k, 0) + v
+        for key, value in report.items():
+            self.metrics.gauge(f"cache.{key}", value)
+        self.metrics.inc("sweep.calls")
+        self.metrics.inc("sweep.cells", len(new))
+        for record in new:
+            if record.valid:
+                self.metrics.observe("sweep.cell_seconds",
+                                     record.seconds)
+            else:
+                self.metrics.inc(
+                    f"error.{_error_class(record.error)}")
+
+    @property
+    def cache_report(self) -> Dict[str, int]:
+        """Cache activity attributed to the last ``sweep()`` call.
+
+        Exact hit/miss deltas for the launch-plan cache and the
+        batched engine's gang-prototype cache (``plan_hits`` /
+        ``plan_misses`` / ``gang_hits`` / ``gang_misses`` — historical
+        keys, kept verbatim).  A thin view over the ``cache.*`` gauges
+        in :attr:`metrics`; empty before the first call.
+        """
+        gauges = self.metrics.snapshot()["gauges"]
+        return {name[len("cache."):]: int(value)
+                for name, value in gauges.items()
+                if name.startswith("cache.")}
 
     def _sweep_process(self, configs: List[dict]) -> List[SweepRecord]:
         try:
@@ -183,10 +268,34 @@ class Sweeper:
         The sweep-level half of the observability story: together with
         ``Pipeline.health_report()`` it makes every failed
         configuration diagnosable by *kind* rather than by reading N
-        raw message strings.
+        raw message strings.  A thin view over the ``error.<class>``
+        counters in :attr:`metrics` (historical bare class names kept).
         """
-        return dict(Counter(_error_class(r.error)
-                            for r in self.records if not r.valid))
+        return {name[len("error."):]: count
+                for name, count
+                in self.metrics.counters("error.").items()}
+
+    def slowest_report(self, n: int = 5) -> str:
+        """The *n* slowest valid cells, as an aligned text table.
+
+        The sweep-level profiling summary: modeled time, register
+        pressure, and occupancy per cell, worst first — where to point
+        a traced re-run (``trace=True`` + ``export_trace``) when a
+        grid's tail looks wrong.
+        """
+        ranked = sorted((r for r in self.records if r.valid),
+                        key=lambda r: (-r.seconds, r.key()))[:n]
+        rows = [[r.index, _config_note(r.config),
+                 f"{r.seconds * 1e3:.3f}", r.reg_count,
+                 f"{r.occupancy:.2f}"] for r in ranked]
+        return format_table(
+            ["cell", "config", "ms", "regs", "occ"], rows,
+            title=f"slowest {len(rows)} of {len(self.records)} cells")
+
+
+def _config_note(config: dict) -> str:
+    """One config dict as a stable ``k=v`` note for spans/tables."""
+    return " ".join(f"{k}={v}" for k, v in sorted(config.items()))
 
 
 def _error_class(error: str) -> str:
