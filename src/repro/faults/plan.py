@@ -170,18 +170,24 @@ class FaultInjector:
         cut = max(1, len(data) // 2)
         return bytes([data[0] ^ 0xFF]) + data[1:cut]
 
-    def maybe_flip(self, site: str, view, detail: str = ""):
+    def maybe_flip(self, site: str, view, detail: str = "",
+                   on_flip=None):
         """Visit *site*; flip one bit of *view* (uint8) when firing.
 
         Returns the flipped byte offset, or ``None`` when nothing
         fired.  Callers decide what a flip means (our launcher treats
         it as a *detected* uncorrectable ECC error and raises).
+        ``on_flip(lo, hi)`` is called with the victim byte range just
+        *before* the flip lands, so dirty-tracking rollback (see
+        :meth:`GlobalMemory.begin_epoch`) can save its pre-image.
         """
         with self._lock:
             if len(view) == 0 or not self._decide(site, detail):
                 return None
             bit = self._rngs[site].randrange(len(view) * 8)
             self._record(site, "flip", f"{detail} byte={bit // 8}")
+        if on_flip is not None:
+            on_flip(bit // 8, bit // 8 + 1)
         view[bit // 8] ^= 1 << (bit % 8)
         return bit // 8
 

@@ -179,24 +179,26 @@ class KernelExecution(Action):
         return result.seconds
 
     def _launch_resilient(self, launch):
-        """Retry transient launch faults from a restored snapshot.
+        """Retry transient launch faults from a dirty-tracked rollback.
 
         Watchdog kills and detected ECC errors leave device memory
-        partially written; each retry first rolls global memory back to
-        the pre-launch snapshot so a completed run is bit-identical to
-        a fault-free one.  Exhausted budgets raise a typed
-        PipelineFaultError naming the fault site.
+        partially written; an armed :meth:`GlobalMemory.begin_epoch`
+        saves per-allocation pre-images as the kernel writes, and each
+        retry rolls back only the buffers the launch actually dirtied
+        (instead of copying the whole allocated heap up front), so a
+        completed run is bit-identical to a fault-free one.  Exhausted
+        budgets raise a typed PipelineFaultError naming the fault site.
         """
         from repro.gpupf.pipeline import PipelineFaultError
         pipe = self.pipeline
         gmem = pipe.gpu.gmem
-        snapshot = gmem.snapshot()
+        gmem.begin_epoch()
 
         def on_retry(exc, attempt, delay):
             site = getattr(exc, "site", "launch.fail")
             pipe._record_retry(site, f"action {self.name}", attempt,
                                delay)
-            gmem.restore(snapshot)
+            gmem.rollback_epoch()  # stays armed for the next attempt
 
         try:
             result, _ = retry_call(launch, policy=pipe.retry,
@@ -208,6 +210,8 @@ class KernelExecution(Action):
                 f"action {self.name!r}: launch failed at fault site "
                 f"{exc.site} after {pipe.retry.max_attempts} attempts: "
                 f"{exc}", site=exc.site, phase="execute") from exc
+        finally:
+            gmem.end_epoch()
 
 
 class UserFunction(Action):

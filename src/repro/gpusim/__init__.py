@@ -17,9 +17,11 @@ from repro.gpusim.executor import (clear_plan_cache, plan_cache_stats,
                                    plan_for)
 from repro.gpusim.launcher import GPU, LaunchResult
 from repro.gpusim.occupancy import OccupancyError, occupancy
+from repro.gpusim.trace import GangTrace, trace_cache_stats
 
 __all__ = ["DeviceSpec", "DEVICES", "TESLA_C1060", "TESLA_C2070", "GPU",
            "LaunchResult", "occupancy", "OccupancyError",
            "ENGINES", "default_engine", "set_default_engine",
            "resolve_engine", "plan_for", "plan_cache_stats",
-           "clear_plan_cache", "gang_cache_stats"]
+           "clear_plan_cache", "gang_cache_stats", "GangTrace",
+           "trace_cache_stats"]

@@ -55,7 +55,9 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.memory import FlatMemory, GlobalMemory, MemoryError_
 from repro.kernelc.ir import IRKernel
 
-from repro.runtime.context import ENGINES, current_context
+from repro.runtime.context import ENGINE_ENV, ENGINES, current_context
+
+from repro.gpusim import trace as gang_trace
 
 #: Blocks ganged per batch.  Bounds transient lane-state memory
 #: (n_regs × batch × 32 × 8 bytes) while keeping the per-instruction
@@ -72,18 +74,41 @@ def default_engine() -> str:
 
 
 def set_default_engine(name: str) -> str:
-    """Set the current context's engine; returns the previous one."""
-    resolved = resolve_engine(name)
+    """Set the current context's engine; returns the previous one.
+
+    The name is stored as given (no ``REPRO_ENGINE`` upgrade — that
+    applies when launches resolve), so a context reads back exactly
+    the engine it was told to default to.
+    """
+    resolved = resolve_engine(name, upgrade=False)
     return current_context().set_engine(resolved)
 
 
-def resolve_engine(name: Optional[str], ctx=None) -> str:
-    """Validate an ``engine=`` argument (None selects *ctx*'s default)."""
+def resolve_engine(name: Optional[str], ctx=None,
+                   upgrade: bool = True) -> str:
+    """Validate an ``engine=`` argument (None selects *ctx*'s default).
+
+    The ``REPRO_ENGINE`` environment variable upgrades ``"batched"``
+    resolutions to ``"traced"`` (the trace-JIT is a bit-exact superset
+    of the gang interpreter); an explicit ``"serial"`` is never
+    overridden so the oracle stays reachable for differential runs.
+    """
     if name is None or name == "auto":
         name = (ctx or current_context()).engine
+    env = os.environ.get(ENGINE_ENV) if upgrade else None
+    if env:
+        if env not in ENGINES:
+            raise SimError(
+                f"invalid {ENGINE_ENV}={env!r}; valid engines are "
+                + ", ".join(repr(e) for e in ENGINES))
+        if env == "traced" and name == "batched":
+            name = "traced"
     if name not in ENGINES:
-        raise SimError(f"unknown execution engine {name!r}; "
-                       f"expected one of {ENGINES}")
+        raise SimError(
+            f"unknown execution engine {name!r}; valid engines are "
+            + ", ".join(repr(e) for e in ENGINES)
+            + f" (pass engine=..., call set_default_engine(), or set "
+            f"{ENGINE_ENV}=traced to upgrade batched launches)")
     return name
 
 
@@ -98,8 +123,16 @@ def run_blocks_batched(kernel: IRKernel, device: DeviceSpec,
                        textures: Optional[Dict[str, TextureBinding]] = None,
                        batch_blocks: Optional[int] = None,
                        ctx=None,
+                       traced: bool = False,
                        ) -> List[BlockStats]:
-    """Execute *indices* blocks gang-batched; stats in index order."""
+    """Execute *indices* blocks gang-batched; stats in index order.
+
+    With ``traced=True`` gang warps record/replay compiled traces
+    (:mod:`repro.gpusim.trace`); results stay bit-identical — the
+    trace machinery deoptimizes to this interpreter on any guard
+    failure.  Callers must not enable it while a fault injector is
+    armed (the launcher enforces this).
+    """
     if ctx is None:
         ctx = current_context()
     if plan is None:
@@ -121,7 +154,7 @@ def run_blocks_batched(kernel: IRKernel, device: DeviceSpec,
         batch = _Batch(kernel, device, gmem, cmem, args,
                        indices[start:start + batch_blocks], block_dim,
                        grid_dim, dynamic_smem, plan, textures or {},
-                       ctx=ctx)
+                       ctx=ctx, traced=traced)
         if tracer is not None:
             n = min(batch_blocks, len(indices) - start)
             with tracer.span(f"gang:{kernel.name}", "engine",
@@ -315,7 +348,9 @@ class _Batch:
 
     def __init__(self, kernel, device, gmem, cmem, args, indices,
                  block_dim, grid_dim, dynamic_smem, plan, textures,
-                 ctx=None):
+                 ctx=None, traced=False):
+        self.traced = traced
+        self.trace_stats = (ctx or current_context()).trace_stats
         self.kernel = kernel
         self.device = device
         self.gmem = gmem
@@ -345,15 +380,33 @@ class _Batch:
             smem = FlatMemory(smem_bytes, "shared")
             smem.data = stack2d[slot, :smem_bytes]
             self.ctxs.append(_BlockCtx(bidx, slot, smem, self.nwarps))
-        self._smem_views: Dict[str, np.ndarray] = {}
+        self._smem_views: Dict = {}
         self._param_arrays: Dict[Tuple[str, str], np.ndarray] = {}
 
     def smem_view(self, dtype) -> np.ndarray:
-        """A typed view of the whole shared-memory stack."""
-        key = np.dtype(dtype).str
-        view = self._smem_views.get(key)
+        """A typed view of the whole shared-memory stack.
+
+        Keyed by the dtype object itself: distinct spellings of one
+        dtype just memoize separate (identical) views, and the
+        ``np.dtype(...).str`` normalisation cost stays off the hot
+        path.
+        """
+        view = self._smem_views.get(dtype)
         if view is None:
             view = self.smem_stack.view(dtype)
+            self._smem_views[dtype] = view
+        return view
+
+    def smem_view2(self, dtype, row_elems: int) -> np.ndarray:
+        """A 2-D (slot, element) view of the shared-memory stack.
+
+        ``row_elems`` must be ``smem_row // itemsize``; rows are
+        padded to 16 bytes, so any element dtype tiles exactly.
+        """
+        key = (dtype, 2)
+        view = self._smem_views.get(key)
+        if view is None:
+            view = self.smem_stack.view(dtype).reshape(-1, row_elems)
             self._smem_views[key] = view
         return view
 
@@ -417,6 +470,11 @@ class _Batch:
                         work.extend(spawned)
         finally:
             ctx.__exit__(None, None, None)
+            # An aborted launch must not leave its trace key stuck in
+            # trace_pending on the (cached, shared) plan.
+            for frag in pool:
+                if frag._rec is not None:
+                    gang_trace.abort_recording(frag)
         for frag in pool:
             frag.finalize()
         return [BlockStats(warps=list(c.warp_stats)) for c in self.ctxs]
@@ -436,7 +494,9 @@ class _GangWarp:
 
     __slots__ = ("batch", "wid", "ctxs", "M", "slots", "lane_mask",
                  "regs", "stack", "specials", "outstanding", "locals_",
-                 "finished", "at_barrier") + _GANG_STAT_NAMES
+                 "finished", "at_barrier",
+                 "_rec", "_trace", "_trace_pos",
+                 "_sbase") + _GANG_STAT_NAMES
 
     def __init__(self, batch: _Batch, wid: int, ctxs: List[_BlockCtx]):
         self.batch = batch
@@ -459,6 +519,12 @@ class _GangWarp:
         self.outstanding: Dict[int, str] = {}
         self.finished = not row_mask.any()
         self.at_barrier = False
+        self._rec = None
+        self._trace = None
+        self._trace_pos = 0
+        #: Per-itemsize shared-memory row-base vectors (trace engine);
+        #: derived from ``slots``, so splitting invalidates it.
+        self._sbase: Dict[int, np.ndarray] = {}
         local_bytes = batch.kernel.local_bytes
         self.locals_ = ([FlatMemory(local_bytes * WARP, "local")
                          for _ in ctxs] if local_bytes else None)
@@ -484,7 +550,10 @@ class _GangWarp:
         sib.M = len(sib.ctxs)
         sib.slots = self.slots[sel]
         sib.lane_mask = self.lane_mask[sel]
-        sib.regs = [None if r is None else r[sel] for r in self.regs]
+        # Row-uniform registers may be stored as single-row (WARP,)
+        # arrays (see trace.py); row selection on those is identity.
+        sib.regs = [r if r is None or r.ndim == 1 else r[sel]
+                    for r in self.regs]
         sib.stack = [[e[0], e[1][sel], e[2], e[3]] for e in self.stack]
         specials = dict(self.specials)
         for key in _CTAID_KEYS:
@@ -495,6 +564,13 @@ class _GangWarp:
                        if self.locals_ else None)
         sib.finished = self.finished
         sib.at_barrier = self.at_barrier
+        # Recordings follow the parent fragment, and a sibling split
+        # off by a replay guard is deoptimized by its caller; either
+        # way the sibling starts with clean trace state.
+        sib._rec = None
+        sib._trace = None
+        sib._trace_pos = 0
+        sib._sbase = {}
         for name in _GANG_STAT_NAMES:
             setattr(sib, name, getattr(self, name)[sel])
         return sib
@@ -505,7 +581,9 @@ class _GangWarp:
         self.M = len(self.ctxs)
         self.slots = self.slots[sel]
         self.lane_mask = self.lane_mask[sel]
-        self.regs = [None if r is None else r[sel] for r in self.regs]
+        self._sbase = {}
+        self.regs = [r if r is None or r.ndim == 1 else r[sel]
+                     for r in self.regs]
         for e in self.stack:
             e[1] = e[1][sel]
         for key in _CTAID_KEYS:
@@ -564,10 +642,17 @@ class _GangWarp:
         own ``run_quantum`` this scheduling round.
         """
         batch = self.batch
+        spawned: List[_GangWarp] = []
+        if batch.traced:
+            # Replay guards may split nonconforming members into
+            # ``spawned`` even when the remainder deoptimizes back to
+            # the interpreter below.
+            status = gang_trace.quantum_enter(self, spawned)
+            if status is not None:
+                return spawned
         plan = batch.plan
         instrs = plan.instrs
         n = plan.n
-        spawned: List[_GangWarp] = []
         while True:
             if not self.stack:
                 self.finished = True
@@ -577,6 +662,9 @@ class _GangWarp:
             if not covers:
                 any_rows = mask.any(axis=1)
                 if not any_rows.all():
+                    if self._rec is not None:
+                        # Partial-exit splits have no straight-line form.
+                        gang_trace.abort_recording(self)
                     if not any_rows.any():
                         self.stack.pop()
                         continue
@@ -589,7 +677,12 @@ class _GangWarp:
             if pc == reconv or pc >= n:
                 self.stack.pop()
                 if self.stack:
+                    if self._rec is not None:
+                        self._rec.events.append(("pop",))
                     continue
+                if self._rec is not None:
+                    self._rec.events.append(("fin",))
+                    gang_trace.finish_recording(self)
                 self.finished = True
                 return spawned
             p = instrs[pc]
@@ -621,12 +714,25 @@ class _GangWarp:
                 self.outstanding.clear()
                 top[2] = pc + 1
                 self.at_barrier = True
+                if self._rec is not None:
+                    self._rec.events.append(("bar", pc))
                 return spawned
             if op == "exit":
+                if self._rec is not None:
+                    if (mask == self.lane_mask).all():
+                        # Whole-warp exit: a clean trace terminator.
+                        self._rec.events.append(("exit", pc))
+                        gang_trace.finish_recording(self)
+                    else:
+                        gang_trace.abort_recording(self)
                 self._terminate(mask)
                 continue
             self._execute(p, exec_mask, exec_covers)
             top[2] = pc + 1
+            if self._rec is not None:
+                self._rec.events.append(("x", pc, covers))
+                if len(self._rec.events) > gang_trace.MAX_EVENTS:
+                    gang_trace.abort_recording(self)
 
     def _score_read(self, p: PlannedInstr) -> None:
         outstanding = self.outstanding
@@ -652,6 +758,8 @@ class _GangWarp:
     def _branch(self, p: PlannedInstr, top, mask, pc,
                 spawned: List["_GangWarp"]) -> None:
         if p.pred < 0:
+            if self._rec is not None:
+                self._rec.events.append(("ub", pc))
             top[2] = p.target
             return
         pred = self.regs[p.pred]
@@ -670,12 +778,21 @@ class _GangWarp:
                    (t_any & f_any, "div"))
                   if sel.any()]
         if len(groups) == 1:
+            if self._rec is not None:
+                self._rec.events.append(("br", pc, groups[0][1]))
             self._apply_branch(groups[0][1], top, taken, fall, pc,
                                p.target)
             return
         # Blocks disagree: split the gang, largest class stays here.
         groups.sort(key=lambda g: int(g[0].sum()), reverse=True)
         keep_sel, keep_kind = groups[0]
+        if self._rec is not None:
+            # Members disagree on the branch class.  The recorder
+            # follows the surviving (largest) fragment: the events so
+            # far are common to every member, and from here the trace
+            # records the survivor's straight-line path.  Replay
+            # guards split nonconforming members off the same way.
+            self._rec.events.append(("br", pc, keep_kind))
         for sel, kind in groups[1:]:
             sib = self._take(sel)
             sib._apply_branch(kind, sib.stack[-1], taken[sel],
@@ -813,6 +930,8 @@ class _GangWarp:
         value = self._full(self._read(p.srcs[1]))
         if space == "global":
             mem = batch.gmem
+            if mem._epoch is not None:
+                mem.note_lanes(addrs, mask, itemsize)
             idx = mem.element_index(
                 addrs.reshape(-1), itemsize,
                 mask.reshape(-1)).reshape(self.M, WARP)
@@ -946,6 +1065,8 @@ class _GangWarp:
             self.issue_cycles += device.mem_issue_cost * \
                 np.maximum(txns, 1)
             mem = batch.gmem
+            if mem._epoch is not None:
+                mem.note_lanes(addrs, mask, itemsize)
             flat_mask = mask.reshape(-1)
             idx = mem.element_index(addrs.reshape(-1), itemsize,
                                     flat_mask)

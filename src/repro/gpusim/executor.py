@@ -131,6 +131,28 @@ class KernelPlan:
         # on the plan so their lifetime rides the plan cache — evicted
         # together when the kernel IR dies or the cache is cleared.
         self.gang_protos: Dict[Tuple, object] = {}
+        # Compiled gang traces (repro.gpusim.trace): keyed
+        # (entry_pc, active-lane signature).  Riding the plan gives
+        # traces the same lifetime/eviction story as gang prototypes.
+        self.traces: Dict[Tuple, object] = {}
+        #: Failed recording attempts per trace key; keys that keep
+        #: aborting (member divergence every run) stop being retried.
+        self.trace_aborts: Dict[Tuple, int] = {}
+        #: Keys with a recording in flight this batch, so sibling
+        #: warps don't redundantly record the same region.
+        self.trace_pending = set()
+        #: Memoized single-row shared-memory conflict factors/indices
+        #: for the trace engine's row-uniform fast path, keyed by raw
+        #: address/mask bytes (patterns are tid-derived and recur).
+        self.shared_rows: Dict[Tuple, Tuple] = {}
+        #: Memoized whole-gang shared factors/indices for patterns no
+        #: row canonicalisation collapses (ctaid-derived addressing);
+        #: geometry functions, so they recur across launches.
+        self.shared_pats: Dict[Tuple, Tuple] = {}
+        #: Memoized global coalescing/index results keyed by 256-byte
+        #: base-relative address bytes, so per-run allocations (the
+        #: bump allocator never reuses addresses) still hit.
+        self.global_pats: Dict[Tuple, Tuple] = {}
 
     @property
     def kernel(self) -> Optional[IRKernel]:
@@ -567,6 +589,8 @@ class _Warp:
         if space not in ("global", "shared"):
             raise SimError(f"atomicAdd on {space} memory")
         mem = self.block.gmem if space == "global" else self.block.smem
+        if space == "global" and mem._epoch is not None:
+            mem.note_lanes(addrs, mask, itemsize)
         idx = mem.element_index(addrs, itemsize, mask)
         view = mem.view(p.np_dtype)
         old = view[idx].copy()
@@ -626,6 +650,8 @@ class _Warp:
             stats.mem_bytes += nbytes
             stats.issue_cycles += device.mem_issue_cost * max(txn, 1)
             mem = self.block.gmem
+            if mem._epoch is not None:
+                mem.note_lanes(addrs, mask, itemsize)
             idx = mem.element_index(addrs, itemsize, mask)
             mem.view(p.np_dtype)[idx[mask]] = value[mask]
             return

@@ -55,6 +55,12 @@ class LaunchResult:
     #: Per-launch micro-profile; populated only when the owning
     #: context is tracing (``ctx.tracer`` is not None).
     profile: Optional["LaunchProfile"] = None
+    #: Trace-JIT activity during this launch (deltas of the owning
+    #: context's ``trace_stats``); all zero unless the launch ran on
+    #: the ``"traced"`` engine.
+    trace_hits: int = 0
+    trace_deopts: int = 0
+    trace_records: int = 0
 
     @property
     def seconds(self) -> float:
@@ -276,12 +282,17 @@ class GPU:
             # Fault site: the driver rejects the launch outright
             # (before any block executes, so no side effects exist).
             injector.check("launch.fail", detail=kernel.name)
-        if engine == "batched" and len(indices) > 1:
+        trace_before = tuple(self.ctx.trace_stats.values())
+        if engine in ("batched", "traced") and len(indices) > 1:
+            # Tracing stays off while an injector is armed: every
+            # FaultPlan site then sees the plain interpreter, whose
+            # chaos semantics are the documented ones.
             stats = run_blocks_batched(
                 kernel.ir, self.spec, self.gmem, cmem, arg_map,
                 indices, block_dim=block3, grid_dim=grid3,
                 dynamic_smem=dynamic_smem, plan=plan,
-                textures=textures, ctx=self.ctx)
+                textures=textures, ctx=self.ctx,
+                traced=(engine == "traced" and injector is None))
         else:
             stats = []
             for bidx in indices:
@@ -305,15 +316,21 @@ class GPU:
             flipped = injector.maybe_flip(
                 "memory.bitflip",
                 self.gmem.data[:self.gmem.allocated_bytes],
-                detail=kernel.name)
+                detail=kernel.name, on_flip=self.gmem.note_range)
             if flipped is not None:
                 raise ECCError(
                     f"uncorrectable ECC error during {kernel.name!r} "
                     f"(device byte offset {flipped})")
         timing = kernel_timing(self.spec, occ, total_blocks, stats)
+        ts = self.ctx.trace_stats
+        delta = {name: after - before for (name, after), before
+                 in zip(ts.items(), trace_before) if after != before}
         return LaunchResult(timing=timing, occupancy=occ, grid=grid3,
                             block=block3, blocks_executed=len(indices),
-                            stats=stats)
+                            stats=stats,
+                            trace_hits=delta.get("hits", 0),
+                            trace_deopts=delta.get("deopts", 0),
+                            trace_records=delta.get("records", 0))
 
 
 #: Bound on each context's sampled-launch pick memo; the memo lives on

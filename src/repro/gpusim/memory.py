@@ -10,13 +10,31 @@ discipline.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 
 class MemoryError_(Exception):
     """Out-of-bounds, misaligned, or exhausted-memory access."""
+
+
+class _Epoch:
+    """Copy-on-write dirty-tracking state for one resilient launch."""
+
+    __slots__ = ("intervals", "starts", "ends", "saved", "wild",
+                 "cursor", "allocations")
+
+    def __init__(self, intervals, cursor, allocations):
+        self.intervals = intervals  # sorted (start, end, addr)
+        self.starts = np.array([iv[0] for iv in intervals], np.int64)
+        self.ends = np.array([iv[1] for iv in intervals], np.int64)
+        #: Allocation pre-images, saved lazily at first touch.
+        self.saved: Dict[int, np.ndarray] = {}
+        #: Pre-images of touched bytes outside any allocation.
+        self.wild: List[Tuple[int, np.ndarray]] = []
+        self.cursor = cursor
+        self.allocations = allocations
 
 
 class GlobalMemory:
@@ -34,6 +52,10 @@ class GlobalMemory:
         self._cursor = 0
         self._views: Dict[str, np.ndarray] = {}
         self.allocations: Dict[int, int] = {}
+        #: Armed by :meth:`begin_epoch`; the engines consult this
+        #: before every global store/atomic, so ``None`` keeps the
+        #: common (non-resilient) path to one attribute test.
+        self._epoch: Optional[_Epoch] = None
 
     def alloc(self, nbytes: int, align: int = 256) -> int:
         """cudaMalloc: returns a device address."""
@@ -84,6 +106,113 @@ class GlobalMemory:
         self._cursor = 0
         self.allocations.clear()
         self.data[:] = 0
+        self._epoch = None
+
+    # -- per-allocation dirty tracking -----------------------------
+
+    def begin_epoch(self) -> None:
+        """Arm copy-on-write dirty tracking for a resilient launch.
+
+        While armed, the engines note every global store/atomic (and
+        the fault injector notes ECC bit flips) *before* mutating
+        DRAM; the first touch of each allocation saves that
+        allocation's pre-image, and touches outside any allocation
+        save just the touched byte range.  :meth:`rollback_epoch`
+        then restores only what the kernel actually wrote, so launch
+        retries stop paying a whole-heap :meth:`snapshot` copy.
+        """
+        intervals = sorted(
+            (addr - self._BASE, addr - self._BASE + nbytes, addr)
+            for addr, nbytes in self.allocations.items())
+        self._epoch = _Epoch(intervals, self._cursor,
+                             dict(self.allocations))
+
+    def note_range(self, lo: int, hi: int) -> None:
+        """Record that raw byte offsets ``[lo, hi)`` will change."""
+        epoch = self._epoch
+        if epoch is None or hi <= lo:
+            return
+        intervals = epoch.intervals
+        idx = max(np.searchsorted(epoch.starts, lo, side="right") - 1,
+                  0)
+        pos = lo
+        while pos < hi:
+            if idx < len(intervals):
+                start, end, addr = intervals[idx]
+                if pos >= end:
+                    idx += 1
+                    continue
+                if pos >= start:
+                    if addr not in epoch.saved:
+                        epoch.saved[addr] = self.data[start:end].copy()
+                    pos = end
+                    idx += 1
+                    continue
+                gap_hi = min(hi, start)
+            else:
+                gap_hi = hi
+            epoch.wild.append((pos, self.data[pos:gap_hi].copy()))
+            pos = gap_hi
+
+    def note_lanes(self, addrs: np.ndarray, mask: np.ndarray,
+                   itemsize: int) -> None:
+        """Note a lane scatter (device-address array) before it lands.
+
+        Exact per-allocation resolution: only allocations an active
+        lane actually targets are saved, so a scatter touching two
+        buffers does not drag everything between them into the epoch.
+        """
+        epoch = self._epoch
+        if epoch is None:
+            return
+        offs = addrs[mask].astype(np.int64) - self._BASE
+        if not offs.size:
+            return
+        if not epoch.starts.size:
+            for off in np.unique(offs):
+                self.note_range(int(off), int(off) + itemsize)
+            return
+        pos = np.searchsorted(epoch.starts, offs, side="right") - 1
+        safe = np.maximum(pos, 0)
+        inside = (pos >= 0) & (offs < epoch.ends[safe])
+        for k in np.unique(safe[inside]):
+            start, end, addr = epoch.intervals[k]
+            if addr not in epoch.saved:
+                epoch.saved[addr] = self.data[start:end].copy()
+        # Lanes outside every allocation, or items straddling an
+        # allocation's tail, fall back to exact byte ranges.
+        loose = ~inside
+        loose |= inside & (offs + itemsize > epoch.ends[safe])
+        if loose.any():
+            for off in np.unique(offs[loose]):
+                self.note_range(int(off), int(off) + itemsize)
+
+    def rollback_epoch(self) -> None:
+        """Undo every noted write; the epoch stays armed for a retry."""
+        epoch = self._epoch
+        if epoch is None:
+            raise MemoryError_("rollback_epoch without begin_epoch")
+        for addr, pre in epoch.saved.items():
+            off = addr - self._BASE
+            self.data[off:off + pre.size] = pre
+        # Wild ranges may overlap; reverse order lands the oldest
+        # (pre-epoch) bytes last.
+        for lo, pre in reversed(epoch.wild):
+            self.data[lo:lo + pre.size] = pre
+        # Allocations made since the epoch began roll back with it.
+        self.data[epoch.cursor:self._cursor] = 0
+        self._cursor = epoch.cursor
+        self.allocations = dict(epoch.allocations)
+        epoch.saved.clear()
+        del epoch.wild[:]
+
+    def end_epoch(self) -> Dict[str, int]:
+        """Disarm dirty tracking; returns what the epoch dirtied."""
+        epoch = self._epoch
+        self._epoch = None
+        if epoch is None:
+            return {"allocs": 0, "wild": 0}
+        return {"allocs": len(epoch.saved), "wild": len(epoch.wild)}
 
     def _offset(self, addr: int, nbytes: int) -> int:
         offset = addr - self._BASE

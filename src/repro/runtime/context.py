@@ -53,8 +53,26 @@ if TYPE_CHECKING:  # pragma: no cover
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpusim.device import DeviceSpec
 
-#: The execution engines a launch may name.
-ENGINES = ("serial", "batched")
+#: The execution engines a launch may name.  ``serial`` is the oracle,
+#: ``batched`` the gang interpreter, ``traced`` the trace-JIT layered
+#: on top of it (see :mod:`repro.gpusim.trace`).
+ENGINES = ("serial", "batched", "traced")
+
+#: Environment override consulted by engine resolution: setting
+#: ``REPRO_ENGINE=traced`` upgrades default/``batched`` selections to
+#: the trace-JIT without touching call sites.  Explicit ``serial``
+#: requests are never overridden — differential tests must always be
+#: able to reach the oracle.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Per-context trace-JIT counter names (``ExecutionContext.trace_stats``).
+TRACE_STAT_NAMES = ("hits", "misses", "records", "deopts", "aborts")
+
+
+def _engine_env_default() -> str:
+    """The engine name the environment selects when none is given."""
+    return (os.environ.get(ENGINE_ENV)
+            or os.environ.get("REPRO_SIM_ENGINE", "batched"))
 
 
 class ExecutionContext:
@@ -84,7 +102,7 @@ class ExecutionContext:
             device = TESLA_C2070
         self.device = device
         self.engine = self._validate_engine(
-            engine or os.environ.get("REPRO_SIM_ENGINE", "batched"))
+            engine or _engine_env_default())
         if kernel_cache is None:
             # Deferred: gpupf.cache imports faults.hooks, which resolves
             # through this module; importing it lazily keeps the package
@@ -98,6 +116,10 @@ class ExecutionContext:
         self.plan_stats: Dict[str, int] = {"hits": 0, "misses": 0}
         #: Gang-prototype hit/miss counters (protos ride KernelPlans).
         self.gang_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+        #: Trace-JIT counters (compiled traces ride KernelPlans too;
+        #: see repro.gpusim.trace.trace_cache_stats).
+        self.trace_stats: Dict[str, int] = {
+            name: 0 for name in TRACE_STAT_NAMES}
         #: (grid3, sample_blocks) -> representative block picks.
         self.sample_cache: Dict = {}
         #: Named counters/gauges/histograms (``subsystem.event`` keys;
@@ -114,8 +136,11 @@ class ExecutionContext:
     @staticmethod
     def _validate_engine(name: str) -> str:
         if name not in ENGINES:
-            raise ValueError(f"unknown execution engine {name!r}; "
-                             f"expected one of {ENGINES}")
+            raise ValueError(
+                f"unknown execution engine {name!r}; valid engines are "
+                + ", ".join(repr(e) for e in ENGINES)
+                + " (or set the REPRO_ENGINE environment variable, e.g. "
+                  "REPRO_ENGINE=traced, to upgrade defaults)")
         return name
 
     def set_engine(self, name: str) -> str:
@@ -168,17 +193,22 @@ class ExecutionContext:
     def cache_counters(self) -> Dict[str, int]:
         """Plan/gang cache counters for exact delta accounting.
 
-        Returns the four flat keys ``plan_hits`` / ``plan_misses`` /
-        ``gang_hits`` / ``gang_misses`` — historical underscore names,
+        Returns flat keys ``plan_hits`` / ``plan_misses`` /
+        ``gang_hits`` / ``gang_misses`` / ``trace_hits`` /
+        ``trace_misses`` / ``trace_records`` / ``trace_deopts`` /
+        ``trace_aborts`` — historical underscore names,
         NOT the dotted ``subsystem.event`` convention, because
         :class:`~repro.tuning.sweep.Sweeper` delta-accounting and its
         tests compare these dicts verbatim.  The namespaced ``cache.*``
         spellings live in :meth:`metrics_snapshot`.
         """
-        return {"plan_hits": self.plan_stats["hits"],
-                "plan_misses": self.plan_stats["misses"],
-                "gang_hits": self.gang_stats["hits"],
-                "gang_misses": self.gang_stats["misses"]}
+        counters = {"plan_hits": self.plan_stats["hits"],
+                    "plan_misses": self.plan_stats["misses"],
+                    "gang_hits": self.gang_stats["hits"],
+                    "gang_misses": self.gang_stats["misses"]}
+        for name in TRACE_STAT_NAMES:
+            counters[f"trace_{name}"] = self.trace_stats[name]
+        return counters
 
     # -- observability ---------------------------------------------------
 
@@ -240,6 +270,7 @@ class ExecutionContext:
             "engine": self.engine,
             "plan": dict(self.plan_stats, size=len(self.plan_cache)),
             "gang": dict(self.gang_stats),
+            "trace": dict(self.trace_stats),
             "kernel_cache": self.kernel_cache.stats(),
             "counters": self.metrics.counters(),
         }

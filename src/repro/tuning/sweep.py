@@ -262,6 +262,17 @@ class Sweeper:
         return {"hits": self.cache_report.get("gang_hits", 0),
                 "misses": self.cache_report.get("gang_misses", 0)}
 
+    def trace_cache_stats(self) -> Dict[str, int]:
+        """Trace-JIT counters for the last sweep call.
+
+        All zero unless the run launched on the ``"traced"`` engine;
+        a healthy traced sweep shows one ``records`` per kernel trace
+        and ``hits`` for every other gang quantum.
+        """
+        return {name[len("trace_"):]: count
+                for name, count in self.cache_report.items()
+                if name.startswith("trace_")}
+
     def error_taxonomy(self) -> Dict[str, int]:
         """Invalid records grouped by error class, with counts.
 

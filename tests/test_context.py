@@ -24,7 +24,12 @@ class TestContextBasics:
         assert ctx.cache_counters() == {"plan_hits": 0,
                                         "plan_misses": 0,
                                         "gang_hits": 0,
-                                        "gang_misses": 0}
+                                        "gang_misses": 0,
+                                        "trace_hits": 0,
+                                        "trace_misses": 0,
+                                        "trace_records": 0,
+                                        "trace_deopts": 0,
+                                        "trace_aborts": 0}
 
     def test_invalid_engine_rejected(self):
         with pytest.raises(ValueError):

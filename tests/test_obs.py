@@ -454,8 +454,11 @@ class TestCounterNamespace:
         snap = ctx.metrics_snapshot()
         for key in ("cache.plan_hits", "cache.plan_misses",
                     "cache.gang_hits", "cache.gang_misses",
-                    "cache.kernel_hits", "cache.kernel_misses"):
+                    "cache.kernel_hits", "cache.kernel_misses",
+                    "cache.trace_hits", "cache.trace_deopts"):
             assert key in snap["counters"], key
         flat = ctx.cache_counters()
         assert set(flat) == {"plan_hits", "plan_misses", "gang_hits",
-                             "gang_misses"}
+                             "gang_misses", "trace_hits",
+                             "trace_misses", "trace_records",
+                             "trace_deopts", "trace_aborts"}
