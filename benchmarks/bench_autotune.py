@@ -1,0 +1,108 @@
+"""Profile-guided tuner vs exhaustive sweep on the paper-table grids.
+
+For each Table 6.21/6.22-shaped workload grid this bench runs the
+exhaustive :class:`Sweeper` and the :class:`AutoTuner` over the same
+axes, then records to ``BENCH_autotune.json``: evaluations used vs
+grid size, the modeled-seconds gap between the tuner's optimum and the
+exhaustive one, and the wall-clock speedup of pruning.  The pytest
+smoke asserts the ROADMAP claim directly — optimum within
+:data:`SECONDS_RTOL` from <25 % of the grid on every workload.
+
+Run directly with ``python benchmarks/bench_autotune.py`` or via
+pytest (the CI ``autotune`` job does both the suite and this bench).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import timed, write_bench_json
+from repro.apps.backprojection import BPProblem
+from repro.apps.piv import PIVProblem
+from repro.apps.template_matching import MatchProblem
+from repro.tuning import harness_autotune, harness_sweep
+from repro.tuning.autotune import SECONDS_RTOL
+from repro.tuning.sweep import best_record
+
+#: The three paper-table workloads at bench scale: the Table 6.21/6.22
+#: axes (rb x threads, tile x threads, block x zb) widened to 40-48
+#: cells so a <25 % prune is a meaningful claim.
+WORKLOADS = {
+    "piv": (
+        PIVProblem("bench-at", 40, 40, mask=8, offs=3),
+        {"rb": [1, 2, 4, 8, 16],
+         "threads": [32, 64, 96, 128, 160, 192, 224, 256]},
+    ),
+    "template_matching": (
+        MatchProblem("bench-at", frame_h=60, frame_w=80, tmpl_h=16,
+                     tmpl_w=12, shift_h=5, shift_w=5, n_frames=1),
+        {"tile": [(4, 4), (8, 4), (8, 8), (16, 8), (16, 16), (8, 16)],
+         "threads": [32, 64, 96, 128, 160, 192, 224, 256]},
+    ),
+    "backprojection": (
+        BPProblem("bench-at", nx=12, ny=12, nz=8, n_proj=6, det_u=16,
+                  det_v=12),
+        {"block": [(4, 4), (8, 4), (8, 8), (16, 4), (16, 8), (16, 16),
+                   (32, 4), (32, 8)],
+         "zb": [1, 2, 3, 4, 6, 8]},
+    ),
+}
+
+
+def run_autotune_bench() -> dict:
+    workloads = {}
+    for app, (problem, axes) in WORKLOADS.items():
+        wall_exh, sweeper = timed(harness_sweep, app, problem, axes,
+                                  seed=11, memory_bytes=8 << 20)
+        exh_best = best_record(sweeper.records)
+        wall_tune, tuner = timed(harness_autotune, app, problem, axes,
+                                 seed=11, memory_bytes=8 << 20)
+        result = tuner.result
+        gap = result.best.seconds / exh_best.seconds - 1.0
+        workloads[app] = {
+            "grid_points": result.grid_size,
+            "evals": result.evals,
+            "eval_fraction": result.frac,
+            "diagnosis": result.diagnosis,
+            "fallback": result.fallback,
+            "passes": result.passes,
+            "tuner_config": result.best.config,
+            "tuner_seconds": result.best.seconds,
+            "exhaustive_config": exh_best.config,
+            "exhaustive_seconds": exh_best.seconds,
+            "optimum_gap": gap,
+            "matched_key": result.best.key() == exh_best.key(),
+            "wall_exhaustive_s": wall_exh,
+            "wall_tuner_s": wall_tune,
+            "wall_speedup": wall_exh / wall_tune,
+        }
+    payload = {
+        "bench": "autotune",
+        "seconds_rtol": SECONDS_RTOL,
+        "workloads": workloads,
+    }
+    write_bench_json("BENCH_autotune.json", payload)
+    return payload
+
+
+def test_tuner_matches_tables_from_under_quarter_grid():
+    payload = run_autotune_bench()
+    for app, row in payload["workloads"].items():
+        assert row["evals"] < 0.25 * row["grid_points"], (app, row)
+        assert row["matched_key"] or \
+            row["optimum_gap"] <= SECONDS_RTOL, (app, row)
+        assert not row["fallback"], (app, row)
+
+
+if __name__ == "__main__":
+    p = run_autotune_bench()
+    for app, row in p["workloads"].items():
+        mark = "=" if row["matched_key"] else "~"
+        print(f"{app:>18}: {row['evals']:3d}/{row['grid_points']} "
+              f"evals ({row['eval_fraction']:.0%}), "
+              f"optimum {mark} exhaustive "
+              f"(gap {row['optimum_gap']:.2%}), "
+              f"wall {row['wall_speedup']:.1f}x faster")

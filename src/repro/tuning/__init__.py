@@ -11,10 +11,15 @@ from repro.tuning.sweep import (POOLS, SweepRecord, Sweeper, best_record,
                                 grid_configs)
 from repro.tuning.grids import (percent_of_peak, peak_grid_text,
                                 contour_series)
+from repro.tuning.autotune import (APP_RULES, AutoTuner, SECONDS_RTOL,
+                                   TuneResult, diagnose)
 from repro.tuning.app_sweeps import (HarnessRunner, bp_sweep,
-                                     harness_sweep, piv_sweep, tm_sweep)
+                                     harness_autotune, harness_sweep,
+                                     piv_sweep, tm_sweep)
 
 __all__ = ["POOLS", "Sweeper", "SweepRecord", "best_record",
            "grid_configs", "percent_of_peak", "peak_grid_text",
            "contour_series", "HarnessRunner", "harness_sweep",
-           "piv_sweep", "tm_sweep", "bp_sweep"]
+           "harness_autotune", "piv_sweep", "tm_sweep", "bp_sweep",
+           "APP_RULES", "AutoTuner", "SECONDS_RTOL", "TuneResult",
+           "diagnose"]

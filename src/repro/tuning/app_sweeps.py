@@ -32,6 +32,7 @@ from repro.apps.template_matching import (MatchConfig, MatchProblem,
                                           TemplateMatcher)
 from repro.faults.plan import FaultPlan
 from repro.gpusim import DeviceSpec
+from repro.tuning.autotune import APP_RULES, AutoTuner
 from repro.tuning.sweep import SweepRecord, Sweeper, grid_configs
 
 
@@ -75,7 +76,8 @@ class HarnessRunner:
                            counters=result.counters,
                            faults=result.faults,
                            trace=result.trace,
-                           metrics=result.metrics)
+                           metrics=result.metrics,
+                           profiles=list(result.profiles))
 
 
 def harness_sweep(app: str, problem, axes: Mapping[str, Iterable], *,
@@ -87,14 +89,34 @@ def harness_sweep(app: str, problem, axes: Mapping[str, Iterable], *,
                   fault_plan: Optional[FaultPlan] = None,
                   jobs: int = 1, pool: str = "thread",
                   start_method: Optional[str] = None,
-                  trace: bool = False) -> Sweeper:
+                  trace: bool = False,
+                  autotune: bool = False, **tuner_options) -> Sweeper:
     """Sweep *axes* for one app via the picklable harness protocol.
 
     Returns the :class:`Sweeper` after running, so callers read
     ``.records`` (grid order) and the exact ``.cache_report``.  With
     ``trace=True`` every cell is traced in its worker (thread or
     process) and the sweeper's own trace aggregates the cells.
+
+    ``autotune=True`` replaces the exhaustive grid walk with the
+    profile-guided :class:`~repro.tuning.autotune.AutoTuner`
+    (``tuner_options`` — ``budget``, ``probes``, ``patience``, … —
+    forward to it): the returned sweeper's ``records`` then hold only
+    the pruned evaluation sequence and the tuner itself hangs off
+    ``sweeper.tuner``.
     """
+    if autotune:
+        tuner = harness_autotune(
+            app, problem, axes, device=device, seed=seed,
+            memory_bytes=memory_bytes, specialize=specialize,
+            sample_blocks=sample_blocks, engine=engine,
+            fault_plan=fault_plan, jobs=jobs, pool=pool,
+            start_method=start_method, trace=trace, **tuner_options)
+        tuner.sweeper.tuner = tuner
+        return tuner.sweeper
+    if tuner_options:
+        raise TypeError("tuner options "
+                        f"{sorted(tuner_options)} need autotune=True")
     spec = ProblemSpec(app, problem, seed=seed, device=device,
                        memory_bytes=memory_bytes)
     runner = HarnessRunner(app, spec, specialize=specialize,
@@ -105,6 +127,47 @@ def harness_sweep(app: str, problem, axes: Mapping[str, Iterable], *,
                       start_method=start_method, trace=trace)
     sweeper.sweep(grid_configs(**{k: list(v) for k, v in axes.items()}))
     return sweeper
+
+
+def harness_autotune(app: str, problem, axes: Mapping[str, Iterable],
+                     *, device: str = "c2070", seed: int = 0,
+                     memory_bytes: int = 64 * 1024 * 1024,
+                     specialize: bool = True, sample_blocks: int = 2,
+                     engine: Optional[str] = None,
+                     fault_plan: Optional[FaultPlan] = None,
+                     jobs: int = 1, pool: str = "thread",
+                     start_method: Optional[str] = None,
+                     trace: bool = False, **tuner_options) -> AutoTuner:
+    """Profile-guided pruned tuning of *axes* for one app.
+
+    Builds a ``trace=True`` :class:`HarnessRunner` (launch profiles
+    must ride each record back — that is the diagnosis signal), wires
+    it to an :class:`~repro.tuning.autotune.AutoTuner` under the
+    app's :data:`~repro.tuning.autotune.APP_RULES`, runs
+    :meth:`~repro.tuning.autotune.AutoTuner.tune`, and returns the
+    tuner (``.result`` holds the verdict, ``.records`` the pruned
+    evaluation sequence).  Evaluation still goes through a
+    :class:`Sweeper`, so ``jobs``/``pool``/``fault_plan`` behave
+    exactly as in :func:`harness_sweep` and records stay bit-identical
+    across pool flavors.  ``tuner_options`` (``budget``, ``probes``,
+    ``extra_probes``, ``patience``, ``quorum``, ``max_passes``,
+    ``rules``, ``seed`` as ``tuner_seed``) forward to the tuner.
+    """
+    spec = ProblemSpec(app, problem, seed=seed, device=device,
+                       memory_bytes=memory_bytes)
+    runner = HarnessRunner(app, spec, specialize=specialize,
+                           sample_blocks=sample_blocks,
+                           functional=False, engine=engine,
+                           fault_plan=fault_plan, trace=True)
+    tuner_options.setdefault("rules", APP_RULES.get(app))
+    if "tuner_seed" in tuner_options:
+        tuner_options["seed"] = tuner_options.pop("tuner_seed")
+    tuner = AutoTuner(runner,
+                      {k: list(v) for k, v in axes.items()},
+                      jobs=jobs, pool=pool, start_method=start_method,
+                      trace=trace, **tuner_options)
+    tuner.tune()
+    return tuner
 
 
 def piv_sweep(problem: PIVProblem, device: DeviceSpec,

@@ -25,8 +25,10 @@ class SweepRecord:
     occupancy: float = 0.0
     valid: bool = True
     error: str = ""
-    #: Grid position of this record's config (set by ``sweep()``);
-    #: records are always returned sorted by it.
+    #: Position of this record in the sweeper's cumulative evaluation
+    #: sequence (set by ``sweep()``; indices keep counting across
+    #: calls, so pruned multi-batch sweeps — the AutoTuner — never
+    #: alias).  Records of one call are always returned sorted by it.
     index: int = -1
     #: Plan/gang cache counters charged by runs that evaluated in a
     #: private context of their own (harness/process runs); empty for
@@ -43,6 +45,11 @@ class SweepRecord:
     #: The private run context's ``metrics_snapshot()`` (traced
     #: harness runs only).
     metrics: Optional[Dict[str, object]] = None
+    #: Per-launch :class:`~repro.obs.profile.LaunchProfile` records of
+    #: the evaluation, in launch order (traced harness runs only) —
+    #: the AutoTuner's diagnosis input and the rows behind
+    #: :meth:`Sweeper.limiter_report`.
+    profiles: List[object] = field(default_factory=list)
 
     def key(self) -> Tuple:
         return tuple(sorted(self.config.items()))
@@ -150,16 +157,17 @@ class Sweeper:
 
     def sweep(self, configs: Iterable[dict]) -> List[SweepRecord]:
         configs = list(configs)
+        base = len(self.records)
         before = self.ctx.cache_counters()
         tracer = self.ctx.tracer
         new: List[SweepRecord] = []
         try:
             if tracer is None:
-                new = self._eval_all(configs)
+                new = self._eval_all(configs, base)
             else:
                 with tracer.span("sweep", "sweep", cells=len(configs),
                                  jobs=self.jobs, pool=self.pool):
-                    new = self._eval_all(configs)
+                    new = self._eval_all(configs, base)
                     # Per-cell aggregation: harness/process cells
                     # traced in their own private context; fold each
                     # shipped trace in as a child subtree, grid order.
@@ -174,19 +182,22 @@ class Sweeper:
         finally:
             self._account(new, before)
 
-    def _eval_all(self, configs: List[dict]) -> List[SweepRecord]:
+    def _eval_all(self, configs: List[dict],
+                  base: int = 0) -> List[SweepRecord]:
         if self.jobs == 1 or len(configs) <= 1:
-            new = [self._eval(i, c) for i, c in enumerate(configs)]
+            new = [self._eval(base + i, c)
+                   for i, c in enumerate(configs)]
         elif self.pool == "process":
-            new = self._sweep_process(configs)
+            new = self._sweep_process(configs, base)
         else:
             # Worker threads each evaluate whole configurations
             # under the sweep's context; the run function builds
             # its own GPU per call, so workers never share
             # simulator buffers.
             with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                new = list(pool.map(self._eval, range(len(configs)),
-                                    configs))
+                new = list(pool.map(
+                    self._eval, range(base, base + len(configs)),
+                    configs))
         # Grid order regardless of pool type or completion order.
         new.sort(key=lambda r: r.index)
         return new
@@ -235,7 +246,8 @@ class Sweeper:
                 for name, value in gauges.items()
                 if name.startswith("cache.")}
 
-    def _sweep_process(self, configs: List[dict]) -> List[SweepRecord]:
+    def _sweep_process(self, configs: List[dict],
+                       base: int = 0) -> List[SweepRecord]:
         try:
             pickle.dumps(self.run)
         except Exception as exc:
@@ -250,7 +262,7 @@ class Sweeper:
         with ProcessPoolExecutor(max_workers=self.jobs,
                                  mp_context=mp_context) as pool:
             futures = [pool.submit(_process_eval,
-                                   (i, self.run, dict(config)))
+                                   (base + i, self.run, dict(config)))
                        for i, config in enumerate(configs)]
             for future in as_completed(futures):
                 index, record = future.result()
@@ -285,6 +297,28 @@ class Sweeper:
         return {name[len("error."):]: count
                 for name, count
                 in self.metrics.counters("error.").items()}
+
+    def limiter_report(self) -> Dict[str, Dict[str, int]]:
+        """Distribution of launch-profile limiters over all records.
+
+        Counts every :class:`~repro.obs.profile.LaunchProfile` the
+        records carry (traced harness runs; untraced records
+        contribute nothing) by its occupancy limiter and its modeled
+        boundedness — the AutoTuner's diagnosis inputs, exposed so
+        they are independently testable::
+
+            {"occupancy_limit": {"registers": 4, "blocks": 2},
+             "bound": {"latency": 5, "issue": 1}}
+        """
+        occ: Dict[str, int] = {}
+        bound: Dict[str, int] = {}
+        for record in self.records:
+            for profile in record.profiles:
+                limit = str(getattr(profile, "occupancy_limit", "?"))
+                occ[limit] = occ.get(limit, 0) + 1
+                b = str(getattr(profile, "bound", "?"))
+                bound[b] = bound.get(b, 0) + 1
+        return {"occupancy_limit": occ, "bound": bound}
 
     def slowest_report(self, n: int = 5) -> str:
         """The *n* slowest valid cells, as an aligned text table.

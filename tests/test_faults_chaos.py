@@ -199,6 +199,53 @@ class TestChaosSweep:
 
 
 # ---------------------------------------------------------------------
+# Chaos under the profile-guided tuner: the same contract, one level
+# up — a tuner that completes under a seeded plan must match the
+# fault-free tuner bit-for-bit; one that cannot raises typed.
+# ---------------------------------------------------------------------
+
+class TestAutotuneChaos:
+    TM_AXES = {"tile": [(8, 8), (16, 8)], "threads": [32, 64]}
+
+    @staticmethod
+    def _tune(app, problem, axes, fault_plan=None):
+        from repro.tuning import harness_autotune
+        return harness_autotune(app, problem, axes, seed=11,
+                                memory_bytes=8 << 20,
+                                fault_plan=fault_plan)
+
+    def test_absorbed_faults_leave_tuner_bit_identical(self):
+        # One compile fault per evaluation, absorbed by the TM compile
+        # retry budget: every record still carries identical modeled
+        # results, so the tuner takes the identical search path.
+        plan = FaultPlan(seed=4, counts={"nvcc.compile": 1})
+        clean = self._tune("template_matching", TM_PROBLEM,
+                           self.TM_AXES)
+        chaotic = self._tune("template_matching", TM_PROBLEM,
+                             self.TM_AXES, fault_plan=plan)
+        assert [(r.index, r.config, r.seconds, r.valid, r.error)
+                for r in chaotic.records] == \
+            [(r.index, r.config, r.seconds, r.valid, r.error)
+             for r in clean.records]
+        assert chaotic.decisions == clean.decisions
+        assert chaotic.result.sequence == clean.result.sequence
+        assert chaotic.result.best.key() == clean.result.best.key()
+        # This was not a fault-free run: the injector fired per cell.
+        assert all(r.faults.get("nvcc.compile")
+                   for r in chaotic.records)
+
+    def test_hard_faults_raise_typed_from_tuner(self):
+        # PIV compiles outside any retry wrapper: every evaluation
+        # fails the same way, and the tuner re-raises it typed rather
+        # than returning a best_record of nothing.
+        plan = FaultPlan(seed=4, counts={"nvcc.compile": 1})
+        with pytest.raises(CompileFault):
+            self._tune("piv", PIV_PROBLEM,
+                       {"rb": [1, 2], "threads": [32, 64]},
+                       fault_plan=plan)
+
+
+# ---------------------------------------------------------------------
 # The degradation ladder, site by site.
 # ---------------------------------------------------------------------
 

@@ -113,6 +113,59 @@ class TestSweeper:
             assert sweeper.cache_report == baseline
 
 
+class TestOrderingContracts:
+    """Ordering pins for pruned (sparse, non-grid-ordered) record
+    lists — what the AutoTuner's multi-batch sweeps feed these APIs."""
+
+    @staticmethod
+    def _sparse_ties():
+        # Equal modeled seconds on a sparse, non-grid-ordered subset.
+        return [
+            SweepRecord(config={"rb": 4, "threads": 64}, seconds=2.0),
+            SweepRecord(config={"rb": 1, "threads": 128}, seconds=2.0),
+            SweepRecord(config={"rb": 2, "threads": 32}, seconds=3.0),
+            SweepRecord(config={"rb": 8, "threads": 32}, seconds=3.0),
+        ]
+
+    def test_best_record_tie_break_is_order_independent(self):
+        import itertools
+        for perm in itertools.permutations(self._sparse_ties()):
+            best = best_record(list(perm))
+            # Smallest config key among the equal-seconds fastest.
+            assert best.config == {"rb": 1, "threads": 128}
+
+    def test_slowest_report_tie_order_is_order_independent(self):
+        import itertools
+        reports = set()
+        for perm in itertools.permutations(self._sparse_ties()):
+            sweeper = Sweeper(lambda c: SweepRecord(config=c,
+                                                    seconds=0.0))
+            sweeper.records = list(perm)
+            reports.add(sweeper.slowest_report(3))
+        assert len(reports) == 1
+        lines = reports.pop().splitlines()
+        # Worst first; the 3.0 s tie resolves by config key (rb=2
+        # before rb=8), independent of record order.
+        assert "rb=2" in lines[3] and "rb=8" in lines[4]
+
+    def test_indices_continue_across_sweep_calls(self):
+        # The tuner sweeps in several small batches over one Sweeper;
+        # indices must keep counting (aliasing used to re-start at 0,
+        # which scrambled slowest_report cell ids and trace grafts).
+        def run(config):
+            return SweepRecord(config=config,
+                               seconds=float(config["n"]))
+
+        sweeper = Sweeper(run, jobs=2)
+        sweeper.sweep(grid_configs(n=[3, 1]))
+        sweeper.sweep(grid_configs(n=[2]))
+        sweeper.sweep(grid_configs(n=[5, 4]))
+        assert [r.index for r in sweeper.records] == [0, 1, 2, 3, 4]
+        assert [r.config["n"] for r in sweeper.records] == \
+            [3, 1, 2, 5, 4]
+        assert best_record(sweeper.records).index == 1
+
+
 class TestGrids:
     def _records(self):
         data = {(1, 32): 4.0, (1, 64): 2.0, (2, 32): 1.0, (2, 64): 2.0}
