@@ -27,6 +27,8 @@ subprocess.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -37,6 +39,7 @@ from repro.apps.piv import PIVConfig, PIVProblem, PIVProcessor
 from repro.apps.template_matching import (MatchConfig, MatchProblem,
                                           TemplateMatcher)
 from repro.data import particle_image_pair, template_sequence
+from repro.faults.errors import DeadlineExceeded
 from repro.faults.plan import FaultPlan
 from repro.gpusim import DEVICES, GPU
 from repro.runtime.context import (ExecutionContext, current_context,
@@ -92,6 +95,21 @@ class RunRequest:
     config: object
     fault_plan: Optional[FaultPlan] = None
     trace: bool = False
+    #: Absolute ``time.monotonic()`` deadline for this evaluation, or
+    #: None (unbounded).  An already-expired deadline raises
+    #: :class:`~repro.faults.errors.DeadlineExceeded` *before* any
+    #: compile or launch happens; mid-run, the deadline rides
+    #: ``ctx.deadline`` into the compile/launch retry paths, which
+    #: abort (with device state rolled back) rather than back off past
+    #: it.  Monotonic clocks are comparable across processes on one
+    #: machine, so the serve daemon's workers honor client deadlines.
+    deadline: Optional[float] = None
+    #: Pre-degrade to the runtime-evaluated (RE) regime: strip kernel
+    #: specialization from the config before running.  Per DESIGN.md §7
+    #: the RE variant is bit-identical in results; the serve circuit
+    #: breaker sets this while open so a poisoned SK compile path is
+    #: skipped entirely instead of re-failing per request.
+    degrade: bool = False
 
 
 @dataclass
@@ -117,6 +135,16 @@ class RunResult:
     #: order (traced requests only) — frozen scalar dataclasses, so
     #: they survive pickling back from process-pool workers.
     profiles: List[object] = field(default_factory=list)
+    #: True when the evaluation ran pre-degraded to RE
+    #: (``RunRequest.degrade`` — e.g. dispatched under an open serve
+    #: circuit breaker).  Results stay bit-identical; performance
+    #: metadata reflects the unspecialized variant.
+    degraded: bool = False
+    #: Serve bookkeeping: which worker evaluated the request, and on
+    #: which dispatch attempt (1 = no redispatch).  Empty/1 outside the
+    #: service.
+    worker: str = ""
+    attempts: int = 1
 
     def same_output(self, other: "RunResult") -> bool:
         """Bit-identical functional output (both-None counts)."""
@@ -256,34 +284,81 @@ def get_harness(app: str) -> AppHarness:
                          f"{tuple(HARNESSES)}") from None
 
 
-def run_request(request: RunRequest) -> RunResult:
-    """Evaluate one :class:`RunRequest` in a fresh private context.
+def degrade_config(config):
+    """Strip specialization from an app config: the RE regime.
 
-    This is the function process workers call after unpickling: the
-    context (and with it the kernel cache, plan/gang caches, and the
-    re-seeded fault injector) is rebuilt from the request alone, so the
-    result cannot depend on which process — or thread — ran it.
+    Every app config carries the ``specialize`` toggle; flipping it off
+    compiles the runtime-evaluated variant, which is bit-identical in
+    results (DESIGN.md §7) at unspecialized performance.  Configs
+    without the toggle come back unchanged.
+    """
+    if getattr(config, "specialize", False):
+        return dataclasses.replace(config, specialize=False)
+    return config
+
+
+def run_request(request: RunRequest,
+                context: Optional[ExecutionContext] = None) -> RunResult:
+    """Evaluate one :class:`RunRequest`; cold by default, warm on reuse.
+
+    With ``context=None`` (the process-pool path) a fresh private
+    context — kernel cache, plan/gang caches, re-seeded fault injector
+    — is rebuilt from the request alone, so the result cannot depend on
+    which process or thread ran it.
+
+    Passing a *context* reuses it across requests: this is the serve
+    worker's warm path, where the whole point is that the second
+    identical spec hits the compiled-binary, launch-plan, gang, and
+    trace caches instead of rebuilding them (§4.3's amortization
+    argument, finally realized).  Warm runs are bit-identical to cold
+    ones — cache hits return the exact artifacts a miss would build —
+    and per-request state (fault injector, tracer, deadline) is scoped
+    to the call:  ``result.counters`` always reports this request's
+    cache-counter *delta*, so accounting is identical either way.
     """
     spec = request.spec
     harness = get_harness(spec.app)
-    ctx = ExecutionContext(device=spec.device_spec(),
-                           name=f"run:{spec.app}")
+    if request.deadline is not None \
+            and time.monotonic() >= request.deadline:
+        raise DeadlineExceeded(
+            f"request deadline expired before launch "
+            f"(app={spec.app})", site="before-launch")
+    config = request.config
+    degraded = False
+    if request.degrade:
+        config = degrade_config(config)
+        degraded = config is not request.config
+    ctx = context
+    if ctx is None:
+        ctx = ExecutionContext(device=spec.device_spec(),
+                               name=f"run:{spec.app}")
+    before = ctx.cache_counters() if context is not None else None
     injector = None
     if request.fault_plan is not None:
         injector = ctx.install_faults(request.fault_plan)
+    had_tracer = ctx.tracer is not None
     tracer = ctx.enable_tracing(f"run:{spec.app}") if request.trace \
         else None
-    with using_context(ctx):
-        if tracer is None:
-            result = harness.execute(spec, request.config, context=ctx)
-        else:
-            with tracer.span(f"request:{spec.app}", "harness",
-                             app=spec.app, device=spec.device,
-                             seed=spec.seed) as span:
-                result = harness.execute(spec, request.config,
-                                         context=ctx)
-                span.attrs["sim_seconds"] = result.seconds
+    try:
+        with using_context(ctx), ctx.deadline_scope(request.deadline):
+            if tracer is None:
+                result = harness.execute(spec, config, context=ctx)
+            else:
+                with tracer.span(f"request:{spec.app}", "harness",
+                                 app=spec.app, device=spec.device,
+                                 seed=spec.seed) as span:
+                    result = harness.execute(spec, config, context=ctx)
+                    span.attrs["sim_seconds"] = result.seconds
+    finally:
+        if injector is not None:
+            ctx.clear_faults()
+        if tracer is not None and not had_tracer:
+            ctx.disable_tracing()
     result.counters = ctx.cache_counters()
+    if before is not None:
+        result.counters = {k: result.counters[k] - before[k]
+                           for k in result.counters}
+    result.degraded = degraded
     if injector is not None:
         result.faults = injector.summary()
     if tracer is not None:

@@ -19,9 +19,10 @@ the rest of the system honor that contract under failure:
 """
 
 from repro.faults.errors import (FAULT_SITES, CacheCorruption,
-                                 CompileFault, CompileTimeout, DeviceOOM,
-                                 ECCError, FaultError, LaunchFault,
-                                 WatchdogTimeout, error_for)
+                                 CompileFault, CompileTimeout,
+                                 DeadlineExceeded, DeviceOOM, ECCError,
+                                 FaultError, LaunchFault, WatchdogTimeout,
+                                 WorkerCrashError, error_for)
 from repro.faults.hooks import active, clear, injecting, install
 from repro.faults.plan import FaultEvent, FaultInjector, FaultPlan
 from repro.faults.retry import (RetryPolicy, default_should_retry,
@@ -30,7 +31,7 @@ from repro.faults.retry import (RetryPolicy, default_should_retry,
 __all__ = [
     "FAULT_SITES", "FaultError", "CompileFault", "CompileTimeout",
     "CacheCorruption", "LaunchFault", "WatchdogTimeout", "ECCError",
-    "DeviceOOM", "error_for",
+    "DeviceOOM", "WorkerCrashError", "DeadlineExceeded", "error_for",
     "FaultPlan", "FaultInjector", "FaultEvent",
     "install", "clear", "active", "injecting",
     "RetryPolicy", "retry_call", "default_should_retry",

@@ -93,6 +93,36 @@ class DeviceOOM(FaultError):
     transient = False
 
 
+class WorkerCrashError(FaultError):
+    """A pool/service worker process died mid-evaluation.
+
+    Not an *injectable* site (nothing inside the simulator raises it —
+    the process is simply gone), so it is deliberately absent from
+    :data:`SITE_ERRORS`/:data:`FAULT_SITES`.  Transient: redispatching
+    the same hermetic request to a fresh worker is expected to succeed,
+    which is exactly what the serve supervisor's at-most-N-retries
+    contract does.
+    """
+
+    site = "worker.crash"
+
+
+class DeadlineExceeded(Exception):
+    """A per-request deadline expired before (or during) the work.
+
+    Deliberately *not* a :class:`FaultError`: deadline expiry is a
+    caller-imposed budget, not a device fault, and it must never be
+    retried (``default_should_retry`` only retries transient
+    FaultErrors).  ``site`` names where the budget ran out —
+    ``"before-launch"``, ``"retry-backoff"``, ...
+    """
+
+    def __init__(self, message: str = "deadline exceeded",
+                 site: str = "deadline"):
+        super().__init__(message)
+        self.site = site
+
+
 #: Every named fault site, mapped to the exception it raises.
 SITE_ERRORS: Dict[str, Type[FaultError]] = {
     cls.site: cls

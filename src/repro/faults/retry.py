@@ -6,9 +6,19 @@ go through :func:`retry_call`.  Only *transient* faults are retried
 source, an out-of-bounds access, out-of-memory — propagate on the
 first attempt so the degradation ladder (or the caller) can act.
 
-Jitter is drawn from a seeded stream so a retried run is exactly
-reproducible; backoff delays default to ~1 ms so retries remain
-observable in wall-clock terms without slowing tests.
+Backoff is exponential with a hard :attr:`RetryPolicy.max_delay` cap
+and *seeded* jitter: the jitter stream derives from ``policy.seed``
+alone, so two runs under the same policy see byte-identical retry
+schedules (:meth:`RetryPolicy.schedule` exposes the whole schedule for
+tests and for the serve supervisor's restart pacing).  Delays default
+to ~1 ms so retries remain observable in wall-clock terms without
+slowing tests.
+
+Deadline propagation: ``retry_call(..., deadline=t)`` (a
+``time.monotonic()`` timestamp) refuses to start a backoff sleep that
+would overrun the deadline and raises :class:`DeadlineExceeded`
+instead — after ``on_retry`` has run, so rollback hooks leave device
+state intact on the abort path.
 """
 
 from __future__ import annotations
@@ -16,9 +26,9 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple, TypeVar
+from typing import Callable, List, Optional, Tuple, TypeVar
 
-from repro.faults.errors import FaultError
+from repro.faults.errors import DeadlineExceeded, FaultError
 
 T = TypeVar("T")
 
@@ -31,16 +41,32 @@ class RetryPolicy:
     base_delay: float = 0.001   # seconds before attempt 2
     backoff: float = 2.0        # delay multiplier per further attempt
     jitter: float = 0.25        # +[0, jitter) fraction of the delay
+    max_delay: float = 1.0      # hard cap on any single backoff
     seed: int = 0
 
     def __post_init__(self):
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
 
     def delay_for(self, attempt: int, rng: random.Random) -> float:
         """Backoff before attempt ``attempt + 1`` (attempts are 1-based)."""
         delay = self.base_delay * (self.backoff ** (attempt - 1))
-        return delay * (1.0 + self.jitter * rng.random())
+        delay *= 1.0 + self.jitter * rng.random()
+        return min(delay, self.max_delay)
+
+    def schedule(self, attempts: Optional[int] = None) -> List[float]:
+        """The full deterministic backoff schedule, from a fresh stream.
+
+        ``schedule()[k]`` is the delay taken after attempt ``k + 1``
+        fails; identical policies (same seed) produce identical lists,
+        which is what keeps chaos runs and supervisor restart pacing
+        reproducible.
+        """
+        n = self.max_attempts if attempts is None else attempts
+        rng = random.Random(self.seed)
+        return [self.delay_for(a, rng) for a in range(1, max(n, 1))]
 
 
 def default_should_retry(exc: BaseException) -> bool:
@@ -55,6 +81,8 @@ def retry_call(fn: Callable[[], T],
                on_retry: Optional[Callable[[BaseException, int, float],
                                            None]] = None,
                sleep: Callable[[float], None] = time.sleep,
+               deadline: Optional[float] = None,
+               clock: Callable[[], float] = time.monotonic,
                ) -> Tuple[T, int]:
     """Call *fn* under *policy*; returns ``(result, attempts_used)``.
 
@@ -62,6 +90,12 @@ def retry_call(fn: Callable[[], T],
     pipeline uses it to record the retry and restore device-memory
     snapshots.  The final failure re-raises the last exception
     unchanged, so callers keep its type and fault site.
+
+    *deadline* (``clock()`` timestamp, ``None`` = unbounded) bounds the
+    whole retry budget: when the next backoff would end past it, the
+    call aborts with :class:`DeadlineExceeded` chained from the pending
+    fault.  ``on_retry`` still runs first, so rollback/bookkeeping
+    hooks observe the abandoned attempt and device state stays clean.
     """
     policy = policy or RetryPolicy()
     rng = random.Random(policy.seed)
@@ -75,6 +109,12 @@ def retry_call(fn: Callable[[], T],
             delay = policy.delay_for(attempt, rng)
             if on_retry is not None:
                 on_retry(exc, attempt, delay)
+            if deadline is not None and clock() + delay > deadline:
+                raise DeadlineExceeded(
+                    f"deadline expired during retry backoff after "
+                    f"attempt {attempt} "
+                    f"(pending fault: {type(exc).__name__}: {exc})",
+                    site="retry-backoff") from exc
             if delay > 0:
                 sleep(delay)
             attempt += 1

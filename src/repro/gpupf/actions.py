@@ -202,7 +202,8 @@ class KernelExecution(Action):
 
         try:
             result, _ = retry_call(launch, policy=pipe.retry,
-                                   on_retry=on_retry)
+                                   on_retry=on_retry,
+                                   deadline=pipe.ctx.deadline)
             return result
         except FaultError as exc:
             pipe._record_fault(exc.site, f"action {self.name}")

@@ -12,6 +12,15 @@ Robustness properties:
   all counter updates and ``_memory`` writes happen under a lock, and a
   per-key single-flight latch guarantees concurrent requests for the
   same key compile exactly once (the rest wait and take a hit).
+* **Latch waits are bounded.**  A waiter blocks on the leader's latch
+  for at most ``latch_timeout`` seconds; past that it assumes the
+  leader crashed or wedged (a hung nvcc, a killed worker thread),
+  *steals leadership* — releasing every other stale waiter — and
+  compiles itself.  A live-but-slow leader finishing later is harmless
+  (compilation is deterministic; last store wins).  Each takeover is
+  counted in the ``latch_timeouts`` stat and the current context's
+  ``cache.latch_timeout`` metric, so a wedged holder can never silence
+  other requests forever.
 * **Crash-safe disk entries.**  Writes go through a temp file +
   ``os.replace``; a corrupt or legacy-version entry is *quarantined*
   (renamed to ``<key>.mod.corrupt``) after its failed unpickle, counted
@@ -54,14 +63,23 @@ def cache_key(source: str, defines: Optional[Mapping[str, object]],
 class KernelCache:
     """In-memory (and optionally on-disk) compiled-module cache."""
 
-    def __init__(self, disk_dir: Optional[str] = None):
+    #: Default bound on a single-flight latch wait (seconds).  Long
+    #: enough that no honest compile ever trips it; short enough that a
+    #: crashed latch holder cannot wedge other requests forever.
+    LATCH_TIMEOUT = 30.0
+
+    def __init__(self, disk_dir: Optional[str] = None,
+                 latch_timeout: Optional[float] = None):
         self._memory: Dict[str, CompiledModule] = {}
         self._lock = threading.RLock()
         self._in_flight: Dict[str, threading.Event] = {}
         self.disk_dir = disk_dir
+        self.latch_timeout = (self.LATCH_TIMEOUT if latch_timeout is None
+                              else latch_timeout)
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.latch_timeouts = 0
         if disk_dir:
             os.makedirs(disk_dir, exist_ok=True)
 
@@ -94,9 +112,19 @@ class KernelCache:
                     latch = threading.Event()
                     self._in_flight[key] = latch
                     break  # we are the leader for this key
-            # Another thread is compiling this key: wait, then re-check.
-            # If the leader failed, the re-check makes us the new leader.
-            latch.wait()
+            # Another thread is compiling this key: wait (bounded), then
+            # re-check.  If the leader finished or failed, the re-check
+            # makes us hit or lead; if the wait *times out* the leader
+            # is presumed crashed/wedged — steal leadership by retiring
+            # its latch (waking every other stale waiter) and loop to
+            # compile ourselves.
+            if not latch.wait(timeout=self.latch_timeout):
+                with self._lock:
+                    self.latch_timeouts += 1
+                    if self._in_flight.get(key) is latch:
+                        del self._in_flight[key]
+                latch.set()
+                self._note_latch_timeout(key)
         try:
             module = self._load_from_disk(key)
             if module is not None:
@@ -119,8 +147,19 @@ class KernelCache:
             return module
         finally:
             with self._lock:
-                self._in_flight.pop(key, None)
+                # Only retire *our own* latch: a waiter that timed out
+                # may have already replaced it with its own.
+                if self._in_flight.get(key) is latch:
+                    del self._in_flight[key]
             latch.set()
+
+    def _note_latch_timeout(self, key: str) -> None:
+        """Charge one latch takeover to the current context's metrics."""
+        try:
+            from repro.runtime.context import current_context
+            current_context().metrics.inc("cache.latch_timeout")
+        except Exception:  # pragma: no cover - metrics must never wedge
+            pass
 
     # -- disk layer ----------------------------------------------------
 
@@ -179,10 +218,11 @@ class KernelCache:
     # -- observability -------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
-        """hits / misses / corrupt counters, read atomically."""
+        """hits / misses / corrupt / latch_timeouts, read atomically."""
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
-                    "corrupt": self.corrupt}
+                    "corrupt": self.corrupt,
+                    "latch_timeouts": self.latch_timeouts}
 
     def clear(self) -> None:
         with self._lock:
@@ -190,6 +230,7 @@ class KernelCache:
             self.hits = 0
             self.misses = 0
             self.corrupt = 0
+            self.latch_timeouts = 0
 
 
 def __getattr__(name: str):

@@ -155,7 +155,8 @@ class Pipeline:
                 attempt, policy=self.retry,
                 on_retry=lambda exc, att, delay: self._record_retry(
                     getattr(exc, "site", "nvcc.compile"), mres.name,
-                    att, delay))
+                    att, delay),
+                deadline=self.ctx.deadline)
 
         try:
             module, _ = compile_with(defines)

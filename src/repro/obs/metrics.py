@@ -66,6 +66,15 @@ class MetricsRegistry:
                 if value > h[3]:
                     h[3] = value
 
+    def time(self, name: str):
+        """``with registry.time("serve.exec_s"):`` — observe wall time.
+
+        Records the block's elapsed ``time.perf_counter()`` seconds
+        into histogram *name*; the serve daemon uses it for queue-wait
+        and execution latency summaries.
+        """
+        return _Timer(self, name)
+
     # -- reading -------------------------------------------------------
 
     def counter(self, name: str) -> int:
@@ -127,3 +136,23 @@ class MetricsRegistry:
             return (f"<MetricsRegistry counters={len(self._counters)} "
                     f"gauges={len(self._gauges)} "
                     f"hists={len(self._hists)}>")
+
+
+class _Timer:
+    """Context manager behind :meth:`MetricsRegistry.time`."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        import time
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import time
+        self._registry.observe(self._name,
+                               time.perf_counter() - self._start)

@@ -129,6 +129,13 @@ class ExecutionContext:
         #: zero-overhead sentinel, like ``injector``).  Hot paths must
         #: only ever do ``if ctx.tracer is not None:``.
         self.tracer: Optional["Tracer"] = None
+        #: Per-request deadline as a ``time.monotonic()`` timestamp, or
+        #: None (unbounded).  Set by the serve worker (or any caller)
+        #: around one evaluation; the compile/launch retry paths pass
+        #: it into :func:`repro.faults.retry.retry_call`, which aborts
+        #: with :class:`~repro.faults.errors.DeadlineExceeded` rather
+        #: than backing off past it.
+        self.deadline: Optional[float] = None
         self._fault_lock = threading.Lock()
 
     # -- engine selection ----------------------------------------------
@@ -182,6 +189,31 @@ class ExecutionContext:
             yield injector
         finally:
             self.clear_faults()
+
+    # -- deadlines -------------------------------------------------------
+
+    def deadline_remaining(self, clock=None) -> Optional[float]:
+        """Seconds until :attr:`deadline`, or None when unbounded."""
+        if self.deadline is None:
+            return None
+        import time as _time
+        return self.deadline - (clock or _time.monotonic)()
+
+    def deadline_expired(self, clock=None) -> bool:
+        """True when a deadline is set and already in the past."""
+        remaining = self.deadline_remaining(clock)
+        return remaining is not None and remaining <= 0
+
+    @contextmanager
+    def deadline_scope(self, deadline: Optional[float]
+                       ) -> Iterator["ExecutionContext"]:
+        """Set :attr:`deadline` for the dynamic extent; always restores."""
+        previous = self.deadline
+        self.deadline = deadline
+        try:
+            yield self
+        finally:
+            self.deadline = previous
 
     # -- cache maintenance ----------------------------------------------
 

@@ -1,0 +1,171 @@
+"""Admission control: a bounded queue that sheds instead of growing.
+
+Every submitted request becomes an :class:`Entry` and must pass
+:meth:`AdmissionController.admit` *in the caller's thread*: a full
+queue raises :class:`~repro.serve.errors.ServiceOverloadError` right
+there — the client gets a typed answer now, and the supervisor's
+dispatch latency stays bounded by ``capacity`` no matter how fast
+requests arrive.  Expired deadlines are rejected at the door too
+(cheapest possible deadline miss), and swept from the queue before
+every dispatch so a stale request never occupies a worker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.serve.errors import (ServiceDeadlineError,
+                                ServiceOverloadError,
+                                ServiceShutdownError)
+
+
+@dataclass
+class Entry:
+    """One admitted request, from submit to future completion."""
+
+    id: int
+    request: object
+    future: Future
+    deadline: Optional[float] = None
+    client: str = ""
+    attempts: int = 0          # dispatches so far (crash = redispatch)
+    probe: bool = False        # half-open breaker probe
+    degrade: bool = False      # dispatched pre-degraded to RE
+    admitted_at: float = field(default_factory=time.monotonic)
+    _done = False
+
+    def complete(self, result=None, error: Optional[BaseException] = None
+                 ) -> bool:
+        """Resolve the future exactly once; returns False when late.
+
+        Crash handling, deadline kills, and worker replies can race on
+        one entry; first resolution wins and the rest are no-ops.
+        """
+        if self._done:
+            return False
+        self._done = True
+        if error is not None:
+            self.future.set_exception(error)
+        else:
+            self.future.set_result(result)
+        return True
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return (self.deadline is not None
+                and (now if now is not None else time.monotonic())
+                >= self.deadline)
+
+
+class AdmissionController:
+    """Bounded FIFO of :class:`Entry` with load shedding."""
+
+    def __init__(self, capacity: int,
+                 on_shed: Optional[Callable[[Entry], None]] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._pending: Deque[Entry] = deque()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._on_shed = on_shed
+        self.shed = 0
+        self.admitted = 0
+
+    def admit(self, entry: Entry) -> None:
+        """Queue *entry* or raise a typed refusal (caller's thread)."""
+        now = time.monotonic()
+        with self._lock:
+            if self._closed:
+                raise ServiceShutdownError(
+                    "service is draining; request not admitted")
+            if entry.expired(now):
+                raise ServiceDeadlineError(
+                    "request deadline expired before admission",
+                    phase="queued")
+            if len(self._pending) >= self.capacity:
+                self.shed += 1
+                if self._on_shed is not None:
+                    self._on_shed(entry)
+                raise ServiceOverloadError(
+                    f"queue full ({len(self._pending)}/"
+                    f"{self.capacity}); request shed",
+                    depth=len(self._pending), capacity=self.capacity)
+            self._pending.append(entry)
+            self.admitted += 1
+
+    def next_ready(self) -> Optional[Entry]:
+        """Pop the oldest live entry; expired ones resolve in place."""
+        now = time.monotonic()
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return None
+                entry = self._pending.popleft()
+            if entry.expired(now):
+                entry.complete(error=ServiceDeadlineError(
+                    f"request {entry.id} deadline expired after "
+                    f"{now - entry.admitted_at:.3f}s in queue",
+                    phase="queued"))
+                continue
+            return entry
+
+    def sweep_expired(self) -> int:
+        """Resolve every queued entry whose deadline already passed.
+
+        Runs on the supervisor tick so a deadline miss gets its typed
+        answer promptly even when no worker frees up to trigger
+        :meth:`next_ready`.
+        """
+        now = time.monotonic()
+        expired: List[Entry] = []
+        with self._lock:
+            if not self._pending:
+                return 0
+            live: Deque[Entry] = deque()
+            for entry in self._pending:
+                (expired if entry.expired(now) else live).append(entry)
+            self._pending = live
+        for entry in expired:
+            entry.complete(error=ServiceDeadlineError(
+                f"request {entry.id} deadline expired after "
+                f"{now - entry.admitted_at:.3f}s in queue",
+                phase="queued"))
+        return len(expired)
+
+    def requeue_front(self, entry: Entry) -> None:
+        """Put a crashed dispatch back at the head (keeps FIFO order)."""
+        with self._lock:
+            self._pending.appendleft(entry)
+
+    def close(self) -> None:
+        """Stop admitting; queued entries still drain."""
+        with self._lock:
+            self._closed = True
+
+    def drain_pending(self) -> List[Entry]:
+        """Remove and return everything still queued (abort path)."""
+        with self._lock:
+            entries = list(self._pending)
+            self._pending.clear()
+        return entries
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"depth": len(self._pending),
+                    "capacity": self.capacity, "shed": self.shed,
+                    "admitted": self.admitted,
+                    "closed": int(self._closed)}

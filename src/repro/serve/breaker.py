@@ -1,0 +1,132 @@
+"""Circuit breaker over the specialized-kernel compile path.
+
+PR 3's degradation ladder absorbs *one* SK compile failure per module:
+retry, then recompile as RE (bit-identical results, unspecialized
+performance).  Under a persistently poisoned compiler every request
+still pays the full failed-SK-attempt cost before degrading.  The
+breaker lifts that decision to the service: after
+``failure_threshold`` consecutive requests showing compile faults it
+*opens*, and the supervisor dispatches subsequent requests pre-degraded
+(``RunRequest.degrade=True`` — straight to RE, no SK attempt, still
+bit-identical).  After ``reset_timeout`` seconds it *half-opens*: one
+probe request runs with specialization; a clean probe closes the
+breaker, a faulty one re-opens it.
+
+Dispatch protocol: the supervisor calls :meth:`acquire` per dispatched
+request and gets back a mode — ``"sk"`` (specialize normally),
+``"probe"`` (the one half-open canary), or ``"degrade"`` (strip SK).
+When the request resolves it calls :meth:`record` with the observed
+compile-fault count and the same mode; a probe that never resolves
+(worker crash, deadline kill) is released with :meth:`abort_probe` so
+the next dispatch can probe again.
+
+The clock is injectable so unit tests drive state transitions
+deterministically; the service wires ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Fault sites that count as compile-path failures for the breaker.
+COMPILE_SITES = ("nvcc.compile", "nvcc.timeout")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probes."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_timeout: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0        # consecutive compile-faulty requests
+        self._opened_at = 0.0
+        self._probing = False     # a half-open probe is in flight
+        self.trips = 0
+        self.probes = 0
+
+    # -- dispatch-side ---------------------------------------------------
+
+    def acquire(self) -> str:
+        """Mode for the next dispatched request: sk | probe | degrade."""
+        with self._lock:
+            if self._state == CLOSED:
+                return "sk"
+            if self._state == OPEN and self.clock() - self._opened_at \
+                    >= self.reset_timeout:
+                self._state = HALF_OPEN
+                self._probing = True
+                self.probes += 1
+                return "probe"
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                self.probes += 1
+                return "probe"
+            return "degrade"
+
+    def abort_probe(self) -> None:
+        """The in-flight probe died unresolved; allow another."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probing = False
+
+    # -- result-side -----------------------------------------------------
+
+    def record(self, compile_faults: int, mode: str) -> None:
+        """Fold one resolved request into the breaker.
+
+        *compile_faults* is how many compile-site faults the request
+        observed (absorbed-by-retry faults count — they are the early
+        warning).  Degraded requests never touch the SK path, so they
+        neither heal nor harm the breaker.
+        """
+        with self._lock:
+            if mode == "degrade":
+                return
+            if compile_faults > 0:
+                self._failures += 1
+                if mode == "probe" or self._state == HALF_OPEN:
+                    self._state = OPEN
+                    self._opened_at = self.clock()
+                    self._probing = False
+                elif self._state == CLOSED \
+                        and self._failures >= self.failure_threshold:
+                    self._state = OPEN
+                    self._opened_at = self.clock()
+                    self.trips += 1
+            else:
+                self._failures = 0
+                if mode == "probe":
+                    self._state = CLOSED
+                    self._probing = False
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._state == OPEN and self.clock() - self._opened_at \
+                    >= self.reset_timeout:
+                return HALF_OPEN  # due for a probe at next dispatch
+            return self._state
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            age = (self.clock() - self._opened_at
+                   if self._state != CLOSED else 0.0)
+            return {"state": self._state,
+                    "consecutive_failures": self._failures,
+                    "trips": self.trips, "probes": self.probes,
+                    "open_age_s": age}

@@ -1,0 +1,112 @@
+"""Client surfaces for the specialization service.
+
+Two clients with one API (``run`` / ``run_many`` / ``health`` /
+``ping``), so tests and tools swap transports freely:
+
+* :class:`ServiceClient` — TCP, for a daemon started with
+  ``python -m repro.serve``.  One socket, one request in flight at a
+  time; open several clients for concurrency (the daemon multiplexes
+  behind admission control either way).
+* :class:`InProcClient` — wraps a
+  :class:`~repro.serve.supervisor.SpecializationService` in the same
+  process, skipping the socket but keeping the exact error surface.
+
+Both re-raise the service's typed errors
+(:class:`~repro.serve.errors.ServiceError` subclasses) as instances,
+so ``except ServiceOverloadError`` works identically over either
+transport.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable, List, Optional
+
+from repro.serve.errors import ServiceProtocolError
+from repro.serve.wire import recv_frame, send_frame
+
+
+class ServiceClient:
+    """Talk to a serve daemon over its localhost socket."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 connect_timeout: float = 5.0):
+        self.address = (host, port)
+        self._sock = socket.create_connection(self.address,
+                                              timeout=connect_timeout)
+        self._sock.settimeout(None)  # request latency is the service's
+        self._closed = False
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def _call(self, frame):
+        send_frame(self._sock, frame)
+        reply = recv_frame(self._sock)
+        if not isinstance(reply, tuple) or len(reply) != 2:
+            raise ServiceProtocolError(
+                f"malformed reply frame: {type(reply).__name__}")
+        status, payload = reply
+        if status == "err":
+            raise payload
+        return payload
+
+    def run(self, request, deadline: Optional[float] = None):
+        """Evaluate one request; returns its RunResult or raises typed."""
+        return self._call(("run", request, deadline))
+
+    def run_many(self, requests: Iterable,
+                 deadline: Optional[float] = None) -> List:
+        """Evaluate requests in order on this connection."""
+        return [self.run(request, deadline=deadline)
+                for request in requests]
+
+    def health(self) -> dict:
+        return self._call(("health",))
+
+    def ping(self) -> str:
+        return self._call(("ping",))
+
+
+class InProcClient:
+    """The same client surface over an in-process service."""
+
+    def __init__(self, service):
+        self.service = service
+
+    def __enter__(self) -> "InProcClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def run(self, request, deadline: Optional[float] = None):
+        return self.service.run(request, deadline=deadline,
+                                client="inproc")
+
+    def run_many(self, requests: Iterable,
+                 deadline: Optional[float] = None) -> List:
+        futures = [self.service.submit(r, deadline=deadline,
+                                       client="inproc")
+                   for r in requests]
+        return [f.result() for f in futures]
+
+    def health(self) -> dict:
+        return self.service.health()
+
+    def ping(self) -> str:
+        return "pong" if self.service.running else "stopped"

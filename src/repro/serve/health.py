@@ -1,0 +1,70 @@
+"""Health reporting: one structured snapshot of service liveness.
+
+:func:`health_report` assembles the `/health`-style answer the ISSUE
+asks for — worker liveness (pid, busy/idle, heartbeat age, restart
+counts), queue depth and shed counts, circuit-breaker state, and the
+service metrics snapshot — as a plain dict of scalars and strings so
+it pickles over the wire and dumps as JSON unchanged.
+
+The report is advisory and read-mostly: it samples supervisor state
+without stopping the dispatch loop, so a field can be a tick stale.
+That is the right trade — health checks must never contend with the
+work they are checking.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+
+def _worker_rows(service) -> List[Dict[str, object]]:
+    now = time.monotonic()
+    rows: List[Dict[str, object]] = []
+    for slot in range(service.config.workers):
+        handle = service._handles[slot]
+        if handle is None:
+            rows.append({
+                "slot": slot, "id": None, "pid": None, "alive": False,
+                "busy": None, "beat_age_s": None,
+                "restarts": service._generation[slot],
+                "crash_streak": service._crash_streak[slot],
+                "restart_in_s": max(
+                    0.0, service._restart_at[slot] - now),
+            })
+            continue
+        busy = handle.busy
+        rows.append({
+            "slot": slot, "id": handle.id, "pid": handle.proc.pid,
+            "alive": bool(handle.proc.is_alive()),
+            "busy": busy.id if busy is not None else None,
+            "beat_age_s": now - handle.last_beat,
+            "restarts": service._generation[slot],
+            "crash_streak": service._crash_streak[slot],
+            "restart_in_s": 0.0,
+        })
+    return rows
+
+
+def health_report(service) -> Dict[str, object]:
+    """Build the full health dict for one service instance."""
+    if service._stopped.is_set():
+        status = "stopped"
+    elif service._stopping or service.admission.stats()["closed"]:
+        status = "draining"
+    elif not service._started:
+        status = "new"
+    else:
+        status = "ok"
+    now = time.monotonic()
+    return {
+        "status": status,
+        "uptime_s": (now - service._started_at
+                     if service._started else 0.0),
+        "workers": _worker_rows(service),
+        "queue": service.admission.stats(),
+        "breaker": service.breaker.stats(),
+        "metrics": service.metrics.snapshot(),
+        "events": [{"age_s": now - t, "event": msg}
+                   for t, msg in list(service._events)],
+    }

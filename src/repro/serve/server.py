@@ -1,0 +1,138 @@
+"""TCP front end for the specialization service.
+
+:class:`ServiceServer` binds a localhost socket and bridges the wire
+protocol onto a :class:`~repro.serve.supervisor.SpecializationService`.
+Frames are ``(op, ...)`` tuples (see :mod:`repro.serve.wire` for the
+framing and the localhost-only trust model):
+
+* ``("run", RunRequest, deadline_or_None)`` →
+  ``("ok", RunResult)`` or ``("err", ServiceError-instance)``;
+* ``("health",)`` → ``("ok", health-dict)``;
+* ``("ping",)`` → ``("ok", "pong")``.
+
+Each accepted connection gets its own thread and handles one request
+at a time in order — concurrency comes from multiple connections, and
+the real multiplexing happens behind admission control in the
+supervisor.  Errors ship as *instances* so the client re-raises the
+exact typed ladder (:class:`~repro.serve.errors.ServiceError`
+subclasses) the in-process API raises.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional, Tuple
+
+from repro.serve.errors import (ServiceError, ServiceProtocolError,
+                                ServiceRequestError)
+from repro.serve.supervisor import SpecializationService
+from repro.serve.wire import recv_frame, send_frame
+
+
+class ServiceServer:
+    """Accept loop + per-connection request threads."""
+
+    def __init__(self, service: SpecializationService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._stopping = False
+        self.connections = 0
+
+    def start(self) -> "ServiceServer":
+        if self._accept_thread is not None:
+            raise RuntimeError("server already started")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        self._stopping = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(2.0)
+        for thread in list(self._conn_threads):
+            thread.join(2.0)
+
+    # -- internals -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed: shutting down
+            self.connections += 1
+            self.service.metrics.inc("serve.connections")
+            thread = threading.Thread(
+                target=self._serve_conn, args=(conn, addr),
+                name=f"serve-conn-{addr[1]}", daemon=True)
+            thread.start()
+            self._conn_threads.append(thread)
+            self._conn_threads = [t for t in self._conn_threads
+                                  if t.is_alive()]
+
+    def _serve_conn(self, conn: socket.socket, addr) -> None:
+        client = f"{addr[0]}:{addr[1]}"
+        try:
+            while not self._stopping:
+                try:
+                    msg = recv_frame(conn)
+                except EOFError:
+                    return  # client hung up cleanly
+                except ServiceProtocolError as exc:
+                    self._reply(conn, ("err", exc))
+                    return  # stream state unknown: drop the connection
+                self._reply(conn, self._handle(msg, client))
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _reply(self, conn: socket.socket, reply) -> None:
+        try:
+            send_frame(conn, reply)
+        except OSError:
+            pass  # client vanished mid-reply; nothing to salvage
+
+    def _handle(self, msg, client: str):
+        try:
+            if not isinstance(msg, tuple) or not msg:
+                raise ServiceProtocolError(
+                    f"expected an (op, ...) tuple, got "
+                    f"{type(msg).__name__}")
+            op = msg[0]
+            if op == "ping":
+                return ("ok", "pong")
+            if op == "health":
+                return ("ok", self.service.health())
+            if op == "run":
+                request = msg[1]
+                deadline = msg[2] if len(msg) > 2 else None
+                future = self.service.submit(request, deadline=deadline,
+                                             client=client)
+                return ("ok", future.result())
+            raise ServiceProtocolError(f"unknown op {op!r}")
+        except ServiceError as exc:
+            return ("err", exc)
+        except Exception as exc:  # keep the contract: always typed
+            return ("err", ServiceRequestError(
+                f"{type(exc).__name__}: {exc}", cause=exc))

@@ -1,0 +1,111 @@
+"""The serve worker process: warm contexts, heartbeats, one request at
+a time.
+
+Each worker owns one end of a duplex pipe to the supervisor.  A
+daemon thread beats on the pipe every ``heartbeat_interval`` seconds
+so the supervisor can tell "busy" from "dead or wedged"; the main
+thread blocks on :meth:`Connection.recv` for work.
+
+The warm path is the whole point of the daemon (§4.3: specialization
+cost is amortized by reuse): the worker keeps one long-lived
+:class:`~repro.runtime.context.ExecutionContext` *per device model*
+and evaluates every request against it via
+``run_request(request, context=ctx)``, so repeated specs hit the
+compiled-binary, launch-plan, gang-prototype, and trace caches instead
+of rebuilding them per request.  Hermeticity survives because
+per-request state (fault injector, tracer, deadline) is scoped inside
+``run_request`` and cache hits are bit-identical to misses by
+construction.
+
+Every evaluation ends in exactly one reply: ``("result", req_id,
+"ok", RunResult)`` or ``("result", req_id, "err", exception)`` — the
+exception *instance* ships (type, fault site, and fields survive
+pickling), so the supervisor can map it onto the ServiceError ladder.
+A worker that dies instead of replying is the supervisor's problem,
+by design.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict
+
+from repro.apps.harness import RunRequest, run_request
+from repro.gpusim import DEVICES
+from repro.runtime.context import ExecutionContext
+from repro.serve.chaos import CrashRequest, SleepRequest
+
+#: Message tags on the worker->supervisor pipe.
+MSG_READY = "ready"
+MSG_HEARTBEAT = "hb"
+MSG_RESULT = "result"
+
+
+def _heartbeat_loop(conn, send_lock: threading.Lock,
+                    interval: float, stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            with send_lock:
+                conn.send((MSG_HEARTBEAT, time.monotonic()))
+        except (OSError, ValueError, BrokenPipeError):
+            return  # supervisor went away; the process is dying anyway
+
+
+def _evaluate(msg, contexts: Dict[str, ExecutionContext]):
+    """Evaluate one ("run", id, request, delivery) message."""
+    _, _req_id, request, delivery = msg
+    if isinstance(request, (CrashRequest, SleepRequest)):
+        return request.execute(delivery)
+    if not isinstance(request, RunRequest):
+        raise TypeError(f"worker cannot evaluate "
+                        f"{type(request).__name__}")
+    device = request.spec.device
+    ctx = contexts.get(device)
+    if ctx is None:
+        ctx = ExecutionContext(device=DEVICES[device],
+                               name=f"serve:{device}")
+        contexts[device] = ctx
+    return run_request(request, context=ctx)
+
+
+def worker_main(worker_id: str, conn,
+                heartbeat_interval: float = 0.2) -> None:
+    """Process entry point: serve requests until told to stop."""
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(conn, send_lock, heartbeat_interval, stop),
+        name=f"{worker_id}-heartbeat", daemon=True)
+    beat.start()
+    contexts: Dict[str, ExecutionContext] = {}
+    try:
+        with send_lock:
+            conn.send((MSG_READY, time.monotonic()))
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return  # supervisor side closed: shut down
+            if msg[0] == "stop":
+                return
+            if msg[0] != "run":
+                continue  # unknown message: ignore, stay alive
+            req_id = msg[1]
+            try:
+                result = _evaluate(msg, contexts)
+                reply = (MSG_RESULT, req_id, "ok", result)
+            except Exception as exc:
+                reply = (MSG_RESULT, req_id, "err", exc)
+            try:
+                with send_lock:
+                    conn.send(reply)
+            except (OSError, ValueError, BrokenPipeError):
+                return
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
-                                as_completed)
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -264,8 +264,24 @@ class Sweeper:
             futures = [pool.submit(_process_eval,
                                    (base + i, self.run, dict(config)))
                        for i, config in enumerate(configs)]
-            for future in as_completed(futures):
-                index, record = future.result()
+            # Collect in submission order rather than as_completed: a
+            # worker death breaks the whole executor, and per-future
+            # collection lets every victim config surface as a typed
+            # WorkerCrashError record instead of one opaque crash
+            # killing the sweep (and every already-finished record
+            # keeps its result).
+            for i, future in enumerate(futures):
+                try:
+                    index, record = future.result()
+                except (BrokenExecutor, OSError, RuntimeError) as exc:
+                    index = base + i
+                    record = SweepRecord(
+                        config=dict(configs[i]), seconds=float("inf"),
+                        valid=False,
+                        error=(f"WorkerCrashError: process-pool worker "
+                               f"died evaluating cell {index} "
+                               f"({type(exc).__name__}: {exc})"),
+                        index=index)
                 results[index] = record
         return [results[i] for i in sorted(results)]
 

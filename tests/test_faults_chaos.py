@@ -539,6 +539,7 @@ class TestHealthReport:
         assert report["pipeline"] == "scale"
         assert report["faults"] == {} and report["retries"] == {}
         assert report["degraded"] == {} and report["fallbacks"] == 0
-        assert set(report["cache"]) == {"hits", "misses", "corrupt"}
+        assert set(report["cache"]) == {"hits", "misses", "corrupt",
+                                        "latch_timeouts"}
         assert report["cache"]["misses"] >= 1
         assert report["iterations"] == 1

@@ -139,7 +139,8 @@ class TestCache:
 
     def test_stats_reports_corrupt_counter(self):
         cache = KernelCache()
-        assert cache.stats() == {"hits": 0, "misses": 0, "corrupt": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "corrupt": 0,
+                                 "latch_timeouts": 0}
 
     def test_concurrent_same_key_compiles_once(self):
         # Single-flight: 8 threads racing one key produce exactly one
@@ -203,7 +204,8 @@ class TestCache:
         # The entry was rewritten in place: a third cache loads clean.
         cache3 = KernelCache(disk_dir=str(tmp_path))
         cache3.compile(SCALE_SRC)
-        assert cache3.stats() == {"hits": 1, "misses": 0, "corrupt": 0}
+        assert cache3.stats() == {"hits": 1, "misses": 0, "corrupt": 0,
+                                  "latch_timeouts": 0}
 
     def test_legacy_version_entry_quarantined(self, gpu, tmp_path):
         import pickle
