@@ -91,13 +91,18 @@ def main(argv=None) -> int:
         description="Kernel-specialization reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Enumerated dynamically so a new DeviceSpec/arch registers itself
+    # everywhere: the CLI, its --help text, and the error messages.
+    from repro.gpusim.device import DEVICES
+    from repro.kernelc.compiler import ARCH_MACROS
+
     p = sub.add_parser("compile",
                        help="compile a kernel file, print PTX")
     p.add_argument("source")
     p.add_argument("-D", "--define", action="append", metavar="N[=V]",
                    help="specialization macro (repeatable)")
     p.add_argument("--arch", default="sm_20",
-                   choices=["sm_13", "sm_20"])
+                   choices=sorted(ARCH_MACROS))
     p.add_argument("-O", "--opt", type=int, default=3)
     p.set_defaults(fn=cmd_compile)
 
@@ -108,7 +113,7 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("sweep", help="sweep PIV configurations")
     p.add_argument("--device", default="c2070",
-                   choices=["c1060", "c2070"])
+                   choices=sorted(DEVICES))
     p.add_argument("--mask", type=int, default=16)
     p.add_argument("--offs", type=int, default=9)
     p.add_argument("--width", type=int, default=160)

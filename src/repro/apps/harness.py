@@ -71,7 +71,7 @@ class ProblemSpec:
                              f"expected one of {APP_IDS}")
         if self.device not in DEVICES:
             raise ValueError(f"unknown device {self.device!r}; "
-                             f"expected one of {tuple(DEVICES)}")
+                             f"expected one of {tuple(sorted(DEVICES))}")
 
     def device_spec(self):
         return DEVICES[self.device]

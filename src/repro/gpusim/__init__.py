@@ -4,13 +4,17 @@ Executes :mod:`repro.kernelc` IR the way CUDA hardware executes SASS:
 warps of 32 lanes in lockstep with IPDOM-stack divergence, block-shared
 memory with bank-conflict accounting, global memory with per-compute-
 capability coalescing rules, an occupancy calculator, and a cycle-level
-analytical timing model.  Two device models mirror the dissertation's
-testbeds: the Tesla C1060 (compute capability 1.3) and the Tesla C2070
-(compute capability 2.0).
+analytical timing model.  Three device models span three hardware
+generations: the Tesla C1060 (compute capability 1.3) and Tesla C2070
+(CC 2.0) mirror the dissertation's testbeds, and the Kepler-class
+Tesla K20 (CC 3.5) extends the study axis one generation past the
+paper.  Generation-conditional rules live on each device's declarative
+:class:`~repro.gpusim.device.DeviceCaps` capability model.
 """
 
-from repro.gpusim.device import (DEVICES, DeviceSpec, TESLA_C1060,
-                                 TESLA_C2070)
+from repro.gpusim.device import (DEVICES, DeviceCaps, DeviceSpec,
+                                 TESLA_C1060, TESLA_C2070, TESLA_K20,
+                                 default_caps)
 from repro.gpusim.engine import (ENGINES, default_engine, gang_cache_stats,
                                  resolve_engine, set_default_engine)
 from repro.gpusim.executor import (clear_plan_cache, plan_cache_stats,
@@ -19,7 +23,8 @@ from repro.gpusim.launcher import GPU, LaunchResult
 from repro.gpusim.occupancy import OccupancyError, occupancy
 from repro.gpusim.trace import GangTrace, trace_cache_stats
 
-__all__ = ["DeviceSpec", "DEVICES", "TESLA_C1060", "TESLA_C2070", "GPU",
+__all__ = ["DeviceSpec", "DeviceCaps", "default_caps", "DEVICES",
+           "TESLA_C1060", "TESLA_C2070", "TESLA_K20", "GPU",
            "LaunchResult", "occupancy", "OccupancyError",
            "ENGINES", "default_engine", "set_default_engine",
            "resolve_engine", "plan_for", "plan_cache_stats",

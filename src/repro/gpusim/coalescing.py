@@ -6,11 +6,17 @@ matters so much on real hardware, and they drive the simulator's timing:
 * **CC 1.2/1.3** coalesce per *half-warp*: the hardware issues one
   transaction per distinct aligned 128-byte segment touched (64 B for
   2-byte, 32 B for 1-byte accesses).
-* **CC 2.x** issues one transaction per distinct 128-byte cache line
+* **CC 2.x+** issues one transaction per distinct 128-byte cache line
   touched by the full warp.
 * **Shared memory** has 16 banks serviced per half-warp on CC 1.x and
-  32 banks per warp on CC 2.x; the access replays once per additional
+  32 banks per warp on CC 2.x+; the access replays once per additional
   distinct word mapped to the same bank (same-word access broadcasts).
+
+Which rule applies is *not* decided here: every generation-conditional
+(full-warp vs half-warp grouping, segment sizes, transaction billing)
+is read off the device's declarative capability model
+(:class:`~repro.gpusim.device.DeviceCaps`), so a new device generation
+changes this module's behavior without changing its code.
 """
 
 from __future__ import annotations
@@ -32,18 +38,19 @@ def global_transactions(addrs: np.ndarray, mask: np.ndarray,
     """
     if not mask.any():
         return 0
-    active = addrs[mask].astype(np.int64)
-    if device.compute_capability[0] >= 2:
-        lines = active // 128
+    segment = device.coalesce_segment_bytes(itemsize)
+    if device.caps.full_warp_coalescing:
+        active = addrs[mask].astype(np.int64)
+        lines = active // segment
         if itemsize > 1:
             lines = np.concatenate([lines,
-                                    (active + itemsize - 1) // 128])
+                                    (active + itemsize - 1) // segment])
         return int(np.unique(lines).size)
-    # CC 1.3: per half-warp segments.
-    segment = {1: 32, 2: 64}.get(itemsize, 128)
+    # Half-warp rule (CC 1.x): independent segments per lane group.
     lanes = np.nonzero(mask)[0]
     total = 0
-    for half in (lanes[lanes < 16], lanes[lanes >= 16]):
+    for lo, hi in device.coalesce_groups():
+        half = lanes[(lanes >= lo) & (lanes < hi)]
         if half.size == 0:
             continue
         a = addrs[half].astype(np.int64)
@@ -79,19 +86,20 @@ def global_transactions_batch(addrs: np.ndarray, mask: np.ndarray,
     evaluated with row-wise sorts — no Python loop over members.
     """
     a = addrs.astype(np.int64)
-    if device.compute_capability[0] >= 2:
-        # CC 2.x: distinct 128-byte cache lines per full warp.
-        lines = a // 128
+    segment = device.coalesce_segment_bytes(itemsize)
+    if device.caps.full_warp_coalescing:
+        # CC 2.x+: distinct cache lines per full warp.
+        lines = a // segment
         if itemsize > 1:
-            lines = np.concatenate([lines, (a + itemsize - 1) // 128],
-                                   axis=1)
+            lines = np.concatenate(
+                [lines, (a + itemsize - 1) // segment], axis=1)
             mask = np.concatenate([mask, mask], axis=1)
         return _row_distinct(lines, mask)
     # CC 1.x: per half-warp, one transaction per distinct aligned
     # segment (32 B for 1-byte, 64 B for 2-byte, 128 B otherwise).
-    segment = {1: 32, 2: 64}.get(itemsize, 128)
     total = np.zeros(len(a), np.int64)
-    for half in (slice(0, 16), slice(16, 32)):
+    for lo, hi in device.coalesce_groups():
+        half = slice(lo, hi)
         segs = a[:, half] // segment
         m = mask[:, half]
         if itemsize > 1:
@@ -131,11 +139,13 @@ def shared_conflict_factor(addrs: np.ndarray, mask: np.ndarray,
         return 1
     banks = device.shared_banks
     worst = 1
-    if device.compute_capability[0] >= 2:
+    spans = device.shared_groups()
+    if len(spans) == 1:
         groups = (addrs[mask],)
     else:
         lanes = np.nonzero(mask)[0]
-        groups = (addrs[lanes[lanes < 16]], addrs[lanes[lanes >= 16]])
+        groups = tuple(addrs[lanes[(lanes >= lo) & (lanes < hi)]]
+                       for lo, hi in spans)
     for group in groups:
         if group.size == 0:
             continue

@@ -1,4 +1,4 @@
-"""Device models for the two GPU generations the dissertation evaluates.
+"""Device models for the GPU generations the simulator can stand in for.
 
 The parameters come from the dissertation's Tables 2.1/2.2 and NVIDIA's
 published specifications.  Instruction issue costs are expressed as
@@ -14,12 +14,112 @@ encode the architectural contrasts the dissertation calls out in §2.4:
   register file in newer GPUs".
 * Integer division/modulus are expensive emulated sequences on both —
   which is what strength reduction buys its speedup from.
+
+**Capability model.**  Every generation-conditional behavior the
+engines used to re-derive from ``compute_capability`` comparisons lives
+here, declaratively, as a :class:`DeviceCaps` on the spec: how global
+accesses coalesce (per-half-warp segments vs full-warp cache lines, and
+how many DRAM bytes one transaction charges), how shared-memory bank
+conflicts group, and which multiply flavor is native.  Engines consult
+``device.caps`` / ``device.coalesce_line_bytes()`` instead of branching
+on the CC tuple — this module is the *only* place allowed to compare
+compute capabilities (``tests/test_device.py`` grep-guards the rest of
+the tree), which is what makes a new generation (the Kepler-class K20
+below) expressible without touching any hot path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class DeviceCaps:
+    """Generation-conditional behavior, declared once per device.
+
+    Attributes:
+        full_warp_coalescing: the memory controller services one
+            coalesced request per *full warp* over aligned cache lines
+            (CC 2.x+); False means the CC 1.2/1.3 rule — one request
+            per *half-warp* over aligned segments.
+        coalesce_line_bytes: DRAM bytes charged per coalesced
+            transaction (the cache-line/segment size the timing model
+            bills: 64 B on CC 1.x, 128 B on CC 2.x+).
+        narrow_segment_bytes: itemsize -> segment size for the
+            half-warp rule's narrow accesses (CC 1.x shrinks segments
+            to 32 B/64 B for 1-/2-byte accesses); unused by full-warp
+            devices.
+        smem_half_warp: shared-memory bank conflicts resolve per
+            half-warp (CC 1.x, 16 banks) instead of per full warp.
+        native_mul24: ``__mul24`` is the fast multiply (CC 1.x); on
+            CC 2.x+ the native 32-bit multiply wins (the inversion the
+            paper's specialization tables turn on).
+    """
+
+    full_warp_coalescing: bool
+    coalesce_line_bytes: int
+    smem_half_warp: bool
+    native_mul24: bool
+    narrow_segment_bytes: Dict[int, int] = field(default_factory=dict)
+
+    def segment_bytes(self, itemsize: int) -> int:
+        """Aligned-segment size used to coalesce one access."""
+        if self.full_warp_coalescing:
+            return self.coalesce_line_bytes
+        return self.narrow_segment_bytes.get(itemsize, 128)
+
+    def groups(self, warp_size: int, half_warp: bool
+               ) -> Tuple[Tuple[int, int], ...]:
+        """Lane spans one coalescing/conflict group covers."""
+        if half_warp:
+            half = warp_size // 2
+            return ((0, half), (half, warp_size))
+        return ((0, warp_size),)
+
+
+#: CC 1.2/1.3 (Tesla): half-warp segment coalescing with narrow
+#: segments, 64-byte transaction billing, half-warp bank conflicts.
+CAPS_TESLA = DeviceCaps(
+    full_warp_coalescing=False,
+    coalesce_line_bytes=64,
+    smem_half_warp=True,
+    native_mul24=True,
+    narrow_segment_bytes={1: 32, 2: 64},
+)
+
+#: CC 2.x (Fermi): full-warp coalescing over 128-byte L1 lines,
+#: full-warp bank conflicts, native 32-bit multiply.
+CAPS_FERMI = DeviceCaps(
+    full_warp_coalescing=True,
+    coalesce_line_bytes=128,
+    smem_half_warp=False,
+    native_mul24=False,
+)
+
+#: CC 3.x (Kepler): global loads default through L2 but still coalesce
+#: as full-warp 128-byte line requests (L1-or-L2); declared separately
+#: from Fermi so the generations stay independently tunable.
+CAPS_KEPLER = DeviceCaps(
+    full_warp_coalescing=True,
+    coalesce_line_bytes=128,
+    smem_half_warp=False,
+    native_mul24=False,
+)
+
+
+def default_caps(compute_capability: Tuple[int, int]) -> DeviceCaps:
+    """The capability set a compute capability implies.
+
+    The single sanctioned place to branch on the CC tuple; everywhere
+    else reads the declarative result off ``device.caps``.
+    """
+    major = compute_capability[0]
+    if major >= 3:
+        return CAPS_KEPLER
+    if major >= 2:
+        return CAPS_FERMI
+    return CAPS_TESLA
 
 
 @dataclass(frozen=True)
@@ -35,6 +135,8 @@ class DeviceSpec:
         reg_alloc_unit: register-file allocation granularity
             (per-block on CC 1.x, per-warp on CC 2.x — the calculator
             handles both through :attr:`reg_alloc_per_warp`).
+        caps: the generation-conditional behavior set (defaults from
+            :func:`default_caps` for the spec's compute capability).
     """
 
     name: str
@@ -60,6 +162,12 @@ class DeviceSpec:
     mem_issue_cost: float = 4.0
     #: Kernel launch overhead, microseconds.
     launch_overhead_us: float = 7.0
+    caps: DeviceCaps = None
+
+    def __post_init__(self):
+        if self.caps is None:
+            object.__setattr__(
+                self, "caps", default_caps(self.compute_capability))
 
     @property
     def bytes_per_cycle_per_sm(self) -> float:
@@ -70,6 +178,30 @@ class DeviceSpec:
     def arch(self) -> str:
         major, minor = self.compute_capability
         return f"sm_{major}{minor}"
+
+    # -- capability-model accessors (the engines' vocabulary) ----------
+
+    def coalesce_line_bytes(self) -> int:
+        """DRAM bytes one coalesced transaction charges."""
+        return self.caps.coalesce_line_bytes
+
+    def coalesce_segment_bytes(self, itemsize: int) -> int:
+        """Aligned-segment size for coalescing an *itemsize* access."""
+        return self.caps.segment_bytes(itemsize)
+
+    def coalesce_groups(self) -> Tuple[Tuple[int, int], ...]:
+        """Lane spans the coalescer services independently.
+
+        ``((0, 32),)`` for full-warp devices; ``((0, 16), (16, 32))``
+        under the CC 1.x half-warp rule.
+        """
+        return self.caps.groups(self.warp_size,
+                                not self.caps.full_warp_coalescing)
+
+    def shared_groups(self) -> Tuple[Tuple[int, int], ...]:
+        """Lane spans shared-memory conflict resolution covers."""
+        return self.caps.groups(self.warp_size,
+                                self.caps.smem_half_warp)
 
 
 #: Issue-cost classes (cycles per warp-instruction).
@@ -103,6 +235,25 @@ _COSTS_CC20 = {
     "shared": 2.0,     # relatively slower vs registers than on CC 1.3
     "bar": 4.0,
     "atom": 20.0,
+}
+
+# Kepler SMX: 192 cores, four schedulers with dual issue — more ALU
+# throughput per warp-slot, much faster global atomics (the K20's
+# headline micro-arch change), shared memory again relatively slower
+# versus the (doubled) register file.
+_COSTS_CC35 = {
+    "alu": 1.0,
+    "fmul": 1.0,
+    "imul": 2.0,
+    "mul24": 4.0,      # still emulated post-Fermi
+    "idiv": 40.0,
+    "fdiv": 10.0,
+    "fdiv_approx": 5.0,
+    "sfu": 2.0,        # 32 SFUs per SMX
+    "f64": 3.0,        # 1/3 rate on GK110 Tesla parts
+    "shared": 2.0,
+    "bar": 4.0,
+    "atom": 8.0,       # Kepler's rewritten global atomics
 }
 
 
@@ -148,7 +299,34 @@ TESLA_C2070 = DeviceSpec(
     mem_issue_cost=1.0,
 )
 
-DEVICES = {"c1060": TESLA_C1060, "c2070": TESLA_C2070}
+#: Kepler-class CC 3.5 (GK110): wider SMs (fewer of them), a doubled
+#: register file with 255 regs/thread, 64 warps / 16 blocks per SM, and
+#: full-warp 128-byte coalescing — everything generation-conditional is
+#: expressed through :data:`CAPS_KEPLER`, never re-derived in engines.
+TESLA_K20 = DeviceSpec(
+    name="Tesla K20",
+    compute_capability=(3, 5),
+    sm_count=13,
+    clock_ghz=0.706,
+    mem_bandwidth_gbs=208.0,
+    regs_per_sm=65536,
+    smem_per_sm=49152,
+    max_threads_per_block=1024,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=16,
+    shared_banks=32,
+    reg_alloc_unit=256,
+    reg_alloc_per_warp=True,
+    smem_alloc_unit=256,
+    max_regs_per_thread=255,
+    mem_latency=350,
+    issue_cost=_COSTS_CC35,
+    mem_issue_cost=1.0,
+    caps=CAPS_KEPLER,
+)
+
+DEVICES = {"c1060": TESLA_C1060, "c2070": TESLA_C2070,
+           "k20": TESLA_K20}
 
 
 def cost_class(op: str, dtype, cmp: str = "") -> str:

@@ -988,14 +988,16 @@ class _GangWarp:
         device = self.batch.device
         banks = device.shared_banks
         words = addrs.astype(np.int64) // 4
-        if device.compute_capability[0] >= 2:
+        spans = device.shared_groups()
+        if len(spans) == 1:
             groups = (mask,)
         else:
-            lo = mask.copy()
-            lo[:, 16:] = False
-            hi = mask.copy()
-            hi[:, :16] = False
-            groups = (lo, hi)
+            groups = []
+            for lo, hi in spans:
+                m = mask.copy()
+                m[:, :lo] = False
+                m[:, hi:] = False
+                groups.append(m)
         sentinel = np.iinfo(np.int64).max
         worst = np.ones(self.M, np.int64)
         for m in groups:
@@ -1017,7 +1019,7 @@ class _GangWarp:
         M = self.M
         if space == "global":
             txns = self._global_txns(addrs, mask, itemsize)
-            line = 128 if device.compute_capability[0] >= 2 else 64
+            line = device.coalesce_line_bytes()
             self.mem_transactions += txns
             self.mem_bytes += txns * line
             self.issue_cycles += device.mem_issue_cost * \
@@ -1059,7 +1061,7 @@ class _GangWarp:
             value = value.astype(p.np_dtype)
         if space == "global":
             txns = self._global_txns(addrs, mask, itemsize)
-            line = 128 if device.compute_capability[0] >= 2 else 64
+            line = device.coalesce_line_bytes()
             self.mem_transactions += txns
             self.mem_bytes += txns * line
             self.issue_cycles += device.mem_issue_cost * \

@@ -788,8 +788,7 @@ def _tex_address(idx, n, mode):
 
 def _global_traffic(addrs, mask, itemsize, device) -> Tuple[int, int]:
     txn = coalescing.global_transactions(addrs, mask, itemsize, device)
-    line = 128 if device.compute_capability[0] >= 2 else 64
-    return txn, txn * line
+    return txn, txn * device.coalesce_line_bytes()
 
 
 # Binary/unary semantics over lane arrays ------------------------------

@@ -303,7 +303,7 @@ def _ldg(w, p, a, m):
     device = batch.device
     itemsize = p.itemsize
     txns, idx = _glob_index(w, a, m, itemsize)
-    line = 128 if device.compute_capability[0] >= 2 else 64
+    line = device.coalesce_line_bytes()
     w.mem_transactions += txns
     w.mem_bytes += txns * line
     w.issue_cycles += device.mem_issue_cost * np.maximum(txns, 1)
@@ -319,7 +319,7 @@ def _stg(w, p, a, v, m):
     if v.dtype != p.np_dtype:
         v = v.astype(p.np_dtype)
     txns, idx = _glob_index(w, a, m, itemsize)
-    line = 128 if device.compute_capability[0] >= 2 else 64
+    line = device.coalesce_line_bytes()
     w.mem_transactions += txns
     w.mem_bytes += txns * line
     w.issue_cycles += device.mem_issue_cost * np.maximum(txns, 1)
@@ -400,14 +400,16 @@ def _shared_row(w, arow, mrow, itemsize, device):
     idx0 = np.where(mrow, offs, 0) // itemsize
     banks = device.shared_banks
     words = offs // 4
-    if device.compute_capability[0] >= 2:
+    spans = device.shared_groups()
+    if len(spans) == 1:
         groups = (mrow,)
     else:
-        lo = mrow.copy()
-        lo[16:] = False
-        hi = mrow.copy()
-        hi[:16] = False
-        groups = (lo, hi)
+        groups = []
+        for lo, hi in spans:
+            g = mrow.copy()
+            g[:lo] = False
+            g[hi:] = False
+            groups.append(g)
     worst = 1
     for g in groups:
         act = words[g]
@@ -455,10 +457,7 @@ def _shared_cols(w, arow, itemsize, device):
     idx0 = np.where(bad, 0, offs) // itemsize
     banks = device.shared_banks
     words = offs // 4
-    if device.compute_capability[0] >= 2:
-        halves = ((0, WARP),)
-    else:
-        halves = ((0, 16), (16, WARP))
+    halves = device.shared_groups()
     mats = []
     for lo, hi in halves:
         uw, inv = np.unique(words[lo:hi], return_inverse=True)

@@ -30,7 +30,7 @@ from repro.kernelc.preprocessor import Preprocessor, PreprocessorError
 
 #: Compute-capability macro per architecture, as nvcc defines it.
 ARCH_MACROS = {"sm_10": 100, "sm_11": 110, "sm_12": 120, "sm_13": 130,
-               "sm_20": 200, "sm_21": 210}
+               "sm_20": 200, "sm_21": 210, "sm_30": 300, "sm_35": 350}
 
 
 class CompileError(Exception):
@@ -106,8 +106,9 @@ def nvcc(source: str,
         source: CUDA-C-subset kernel source.
         defines: ``-D`` macro definitions; the specialization interface.
             Values may be int, float, bool, or raw token strings.
-        arch: target architecture (``sm_13`` or ``sm_20`` for the two
-            GPUs the dissertation evaluates).  Sets ``__CUDA_ARCH__``.
+        arch: target architecture (``sm_13``/``sm_20`` for the two
+            GPUs the dissertation evaluates, ``sm_35`` for the
+            Kepler-class K20).  Sets ``__CUDA_ARCH__``.
         opt_level: 0 disables the optimizing passes (for testing);
             3 is the default full pipeline.
         headers: virtual ``#include`` files.

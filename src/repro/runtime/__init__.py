@@ -8,11 +8,21 @@ engine selection, launch-plan/gang caches and their counters, the
 kernel binary cache, the fault injector, and a per-context stats
 registry — so concurrent sweeps (threads *or* processes) get fully
 independent state.
+
+:class:`DeviceFleet` builds on that scoping to shard one workload
+across N per-device contexts — a fleet of simulated GPUs behind one
+scheduler with placement policies, typed fault semantics, and
+bit-identical result merge (DESIGN.md §12).
 """
 
 from repro.runtime.context import (ENGINES, ExecutionContext,
                                    current_context, default_context,
                                    using_context)
+from repro.runtime.fleet import (FLEET_POOLS, PLACEMENTS, DeviceFleet,
+                                 FleetError, FleetMember,
+                                 FleetPlacementError, FleetWorkerError)
 
 __all__ = ["ExecutionContext", "current_context", "default_context",
-           "using_context", "ENGINES"]
+           "using_context", "ENGINES", "DeviceFleet", "FleetMember",
+           "FleetError", "FleetPlacementError", "FleetWorkerError",
+           "FLEET_POOLS", "PLACEMENTS"]

@@ -1,0 +1,518 @@
+"""DeviceFleet: shard one workload across N simulated devices.
+
+The simulator historically modeled one GPU per process; this module
+makes *fleets* of simulated devices a first-class runtime object.  A
+:class:`DeviceFleet` owns N :class:`FleetMember` slots — each one
+device model (any mix of registry keys, e.g. ``["c1060", "c2070",
+"k20"]`` or a homogeneous ``["c2070"] * 4``) with its own queue,
+execution backend, and warm :class:`~repro.runtime.context
+.ExecutionContext` — and shards work across them:
+
+* :meth:`run_requests` — a stream of picklable
+  :class:`~repro.apps.harness.RunRequest`\\ s, each placed on a member
+  modeling the request's device;
+* :meth:`map_grid` — a sweep-shaped configuration grid evaluated by a
+  Sweeper-style runner, cells striped across compatible members and
+  merged back in grid order (``Sweeper(fleet=...)`` wires this in
+  transparently).
+
+**Placement.**  A request is only *eligible* for members whose device
+model matches its spec (results depend on the device — placement must
+never change an answer, only where it is computed).  Among eligible
+members the policy picks:
+
+* ``least-loaded`` (default) — fewest in-flight entries, ties to the
+  fewest total dispatches, then member order;
+* ``round-robin`` — stripe eligible members in order;
+* ``affinity`` — a stable CRC of the work's identity pins identical
+  work to the same member, maximizing warm-cache reuse.
+
+**Bit-identical merge.**  Every evaluation is hermetic (the PR 4
+protocol), so sharding is result-transparent by construction: merged
+results equal a single-device run of the same workload in submission /
+grid order, regardless of member count, backend, or completion order.
+The fleet chaos tests assert exactly this.
+
+**Fault contract.**  ``pool="process"`` members run work in a
+subprocess (reusing the process-pool machinery sweeps already trust).
+A worker death revives the member's executor and redispatches the
+in-flight entry — to a different eligible member when one exists — at
+most ``max_redispatch`` extra times, after which the entry resolves as
+a typed :class:`FleetWorkerError` (requests) or a typed invalid record
+(grid cells).  Never a hang, never a wrong answer.
+
+**Observability.**  ``fleet.*`` counters on :attr:`DeviceFleet.metrics`
+(``fleet.dispatch`` / ``fleet.redispatch`` / ``fleet.worker_crash`` /
+``fleet.errors``...), :meth:`cache_report` aggregating the members'
+plan/gang/trace cache deltas, :meth:`health_report` with per-member
+liveness, and modeled-time accounting (:meth:`makespan_seconds` /
+:meth:`busy_seconds`) — the fleet's throughput axis, measured in the
+same simulated seconds every sweep table reports.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import (BrokenExecutor, Future,
+                                ProcessPoolExecutor, ThreadPoolExecutor)
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List,
+                    Optional, Sequence)
+
+from repro.gpusim.device import DEVICES
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.context import ExecutionContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: harness needs gpusim
+    from repro.apps.harness import RunRequest, RunResult
+
+#: Execution backends a fleet member may use.  ``inline`` evaluates at
+#: submit time on the caller's thread (the determinism oracle),
+#: ``thread`` gives each member one worker thread and a *warm* member
+#: context, ``process`` gives each member one worker subprocess (cold
+#: hermetic evaluations, real isolation, crash semantics).
+FLEET_POOLS = ("inline", "thread", "process")
+
+PLACEMENTS = ("least-loaded", "round-robin", "affinity")
+
+
+class FleetError(Exception):
+    """Base of the fleet's typed error ladder."""
+
+
+class FleetPlacementError(FleetError):
+    """No fleet member models the device the work needs."""
+
+
+class FleetWorkerError(FleetError):
+    """A member's worker died and the redispatch budget is exhausted."""
+
+    def __init__(self, message: str, attempts: int = 1):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+def _stable_hash(value: object) -> int:
+    """Deterministic (process-independent) hash for affinity placement."""
+    return zlib.crc32(repr(value).encode())
+
+
+def _process_request(request: "RunRequest") -> "RunResult":
+    """Process-backend entry: hermetic cold evaluation (PR 4 contract)."""
+    from repro.apps.harness import run_request
+    return run_request(request)
+
+
+def _process_cell(payload):
+    """Process-backend grid-cell entry: mirrors ``Sweeper._process_eval``."""
+    from repro.tuning.sweep import _eval_config
+    index, run, config = payload
+    record = _eval_config(run, config)
+    record.index = index
+    return record
+
+
+class FleetMember:
+    """One simulated device slot: a device model + queue + backend."""
+
+    def __init__(self, ordinal: int, device: str, pool: str,
+                 mp_context=None):
+        if device not in DEVICES:
+            raise FleetPlacementError(
+                f"unknown device {device!r}; expected one of "
+                f"{tuple(sorted(DEVICES))}")
+        self.ordinal = ordinal
+        self.device = device
+        self.key = f"{device}:{ordinal}"
+        self.pool = pool
+        self._mp_context = mp_context
+        self.spec = DEVICES[device]
+        #: Warm per-member context (thread backend evaluates requests
+        #: against it, serve-worker style; inline/process backends keep
+        #: it for engine/device bookkeeping only).
+        self.ctx = ExecutionContext(device=self.spec,
+                                    name=f"fleet:{self.key}")
+        self._executor = None
+        self.generation = 0      # executor revivals after crashes
+        self.in_flight = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.errors = 0
+        #: Modeled simulated seconds this member spent executing.
+        self.busy_seconds = 0.0
+        #: Aggregated per-evaluation cache-counter deltas.
+        self.counters: Dict[str, int] = {}
+
+    # -- backend ---------------------------------------------------------
+
+    def executor(self):
+        if self._executor is None and self.pool != "inline":
+            if self.pool == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=1, mp_context=self._mp_context)
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix=f"fleet-{self.key}")
+            self.generation += 1
+        return self._executor
+
+    def revive(self) -> None:
+        """Replace a broken executor (crashed process worker)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        self.executor()
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def submit(self, fn: Callable, *args) -> Future:
+        self.in_flight += 1
+        self.dispatched += 1
+        if self.pool == "inline":
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:
+                future.set_exception(exc)
+            return future
+        return self.executor().submit(fn, *args)
+
+    def settle(self, result=None, error: bool = False) -> None:
+        """Account one collected evaluation."""
+        self.in_flight = max(0, self.in_flight - 1)
+        if error:
+            self.errors += 1
+            return
+        self.completed += 1
+        seconds = getattr(result, "seconds", None)
+        if isinstance(seconds, (int, float)) \
+                and seconds == seconds and seconds != float("inf"):
+            self.busy_seconds += seconds
+        for k, v in (getattr(result, "counters", None) or {}).items():
+            self.counters[k] = self.counters.get(k, 0) + v
+
+    def stats(self) -> Dict[str, object]:
+        return {"member": self.key, "device": self.spec.name,
+                "pool": self.pool, "generation": self.generation,
+                "in_flight": self.in_flight,
+                "dispatched": self.dispatched,
+                "completed": self.completed, "errors": self.errors,
+                "busy_modeled_s": self.busy_seconds}
+
+
+class DeviceFleet:
+    """N simulated devices behind one sharding scheduler."""
+
+    def __init__(self, devices: Sequence[str], *,
+                 pool: str = "thread",
+                 placement: str = "least-loaded",
+                 max_redispatch: int = 1,
+                 start_method: Optional[str] = None,
+                 name: str = "fleet"):
+        if not devices:
+            raise ValueError("a fleet needs at least one device")
+        if pool not in FLEET_POOLS:
+            raise ValueError(f"unknown fleet pool {pool!r}; expected "
+                             f"one of {FLEET_POOLS}")
+        if placement not in PLACEMENTS:
+            raise ValueError(f"unknown placement {placement!r}; "
+                             f"expected one of {PLACEMENTS}")
+        if max_redispatch < 0:
+            raise ValueError("max_redispatch must be >= 0")
+        self.name = name
+        self.pool = pool
+        self.placement = placement
+        self.max_redispatch = max_redispatch
+        mp_context = None
+        if pool == "process" and start_method is not None:
+            import multiprocessing
+            mp_context = multiprocessing.get_context(start_method)
+        self.members: List[FleetMember] = [
+            FleetMember(i, device, pool, mp_context)
+            for i, device in enumerate(devices)]
+        self.metrics = MetricsRegistry()
+        self.metrics.gauge("fleet.members", len(self.members))
+        self._rr: Dict[str, int] = {}
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "DeviceFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop every member's backend (idempotent)."""
+        self._closed = True
+        for member in self.members:
+            member.shutdown()
+
+    # -- placement -------------------------------------------------------
+
+    def eligible(self, device: str) -> List[FleetMember]:
+        """Members whose model matches *device* (fleet order)."""
+        return [m for m in self.members if m.device == device]
+
+    def place(self, device: str, affinity_key: object = None,
+              exclude: Optional[FleetMember] = None) -> FleetMember:
+        """Pick the member one piece of *device* work runs on.
+
+        Raises:
+            FleetPlacementError: the fleet has no member modeling
+                *device* — a heterogeneous-workload configuration bug,
+                reported with the fleet's actual composition.
+        """
+        candidates = self.eligible(device)
+        if not candidates:
+            raise FleetPlacementError(
+                f"no member of fleet {self.name!r} models device "
+                f"{device!r}; fleet is "
+                f"{[m.key for m in self.members]} "
+                f"(registry devices: {tuple(sorted(DEVICES))})")
+        if exclude is not None and len(candidates) > 1:
+            candidates = [m for m in candidates if m is not exclude]
+        if self.placement == "affinity":
+            return candidates[_stable_hash(affinity_key)
+                              % len(candidates)]
+        if self.placement == "round-robin":
+            n = self._rr.get(device, 0)
+            self._rr[device] = n + 1
+            return candidates[n % len(candidates)]
+        return min(candidates,
+                   key=lambda m: (m.in_flight, m.dispatched, m.ordinal))
+
+    # -- request sharding ------------------------------------------------
+
+    def run_requests(self, requests: Iterable["RunRequest"], *,
+                     return_errors: bool = False) -> List[object]:
+        """Shard a stream of requests; results in submission order.
+
+        Each request evaluates exactly as it would alone — warm member
+        context on the thread backend (the serve warm path, bit-
+        identical by the cache contract), hermetic cold context on
+        inline/process — so the merged list is bit-identical to a
+        sequential single-device run.  Failures resolve as typed
+        errors: raised at their position by default, or returned
+        in-place as exception objects with ``return_errors=True``.
+        """
+        if self._closed:
+            raise FleetError(f"fleet {self.name!r} is shut down")
+        pending = []
+        for i, request in enumerate(requests):
+            device = request.spec.device
+            member = self.place(device, affinity_key=(
+                request.spec.app, request.spec.seed, device))
+            future = self._submit_request(member, request)
+            self.metrics.inc("fleet.dispatch")
+            pending.append([i, member, request, future, 1])
+        self.metrics.inc("fleet.batches")
+        results: List[object] = []
+        for slot in pending:
+            results.append(self._collect_request(slot, return_errors))
+        return results
+
+    def _submit_request(self, member: FleetMember,
+                        request: "RunRequest") -> Future:
+        if member.pool == "thread":
+            # Warm path: reuse the member's long-lived context so
+            # repeated specs hit its compiled/plan/gang/trace caches.
+            from repro.apps.harness import run_request
+            return member.submit(run_request, request, member.ctx)
+        return member.submit(_process_request, request)
+
+    def _collect_request(self, slot, return_errors: bool):
+        from repro.apps.harness import RunResult
+        index, member, request, future, attempts = slot
+        while True:
+            try:
+                result = future.result()
+            except (BrokenExecutor, OSError) as exc:
+                member.settle(error=True)
+                self.metrics.inc("fleet.worker_crash")
+                member.revive()
+                if attempts > self.max_redispatch:
+                    self.metrics.inc("fleet.errors")
+                    error = FleetWorkerError(
+                        f"request {index} lost {attempts} fleet "
+                        f"worker(s) on {member.key} "
+                        f"({type(exc).__name__}: {exc}); redispatch "
+                        f"budget ({self.max_redispatch}) exhausted",
+                        attempts=attempts)
+                    if return_errors:
+                        return error
+                    raise error from exc
+                member = self.place(request.spec.device,
+                                    affinity_key=index, exclude=member)
+                future = self._submit_request(member, request)
+                attempts += 1
+                self.metrics.inc("fleet.redispatch")
+                continue
+            except Exception as exc:
+                member.settle(error=True)
+                self.metrics.inc("fleet.errors")
+                if return_errors:
+                    return exc
+                raise
+            member.settle(result)
+            if isinstance(result, RunResult) and not result.worker:
+                result.worker = member.key
+                result.attempts = attempts
+            return result
+
+    # -- grid sharding ---------------------------------------------------
+
+    def map_grid(self, run: Callable[[dict], object],
+                 configs: Iterable[dict], base: int = 0) -> List[object]:
+        """Shard a sweep grid's cells; records merged in grid order.
+
+        The fleet analogue of ``Sweeper._eval_all`` (and what
+        ``Sweeper(fleet=...)`` delegates to): *run* maps one config
+        dict to a :class:`~repro.tuning.sweep.SweepRecord`, each cell
+        is placed on a member eligible for the runner's device (read
+        off ``run.spec.device`` when present; any member otherwise),
+        and evaluation semantics match the Sweeper's exactly — cell
+        exceptions become typed invalid records, worker deaths
+        redispatch then surface as typed ``FleetWorkerError`` records.
+        """
+        if self._closed:
+            raise FleetError(f"fleet {self.name!r} is shut down")
+        from repro.tuning.sweep import _eval_config
+        configs = list(configs)
+        device = getattr(getattr(run, "spec", None), "device", None)
+        if device is not None:
+            self.eligible(device) or self.place(device)  # raise typed
+        self.metrics.inc("fleet.shards")
+        pending = []
+        for i, config in enumerate(configs):
+            index = base + i
+            member = (self.place(device, affinity_key=tuple(
+                sorted(config.items()))) if device is not None
+                else self._any_member(config))
+            future = self._submit_cell(member, index, run, config)
+            self.metrics.inc("fleet.dispatch")
+            pending.append([index, member, run, config, future, 1])
+        records = [self._collect_cell(slot, device) for slot in pending]
+        for record in records:
+            seconds = getattr(record, "seconds", None)
+            if getattr(record, "valid", False) and seconds is not None:
+                self.metrics.observe("fleet.cell_seconds", seconds)
+        return records
+
+    def _any_member(self, config: dict) -> FleetMember:
+        if self.placement == "affinity":
+            return self.members[
+                _stable_hash(tuple(sorted(config.items())))
+                % len(self.members)]
+        if self.placement == "round-robin":
+            n = self._rr.get("*", 0)
+            self._rr["*"] = n + 1
+            return self.members[n % len(self.members)]
+        return min(self.members,
+                   key=lambda m: (m.in_flight, m.dispatched, m.ordinal))
+
+    def _submit_cell(self, member: FleetMember, index: int, run,
+                     config: dict) -> Future:
+        from repro.tuning.sweep import _eval_config
+
+        if member.pool == "process":
+            return member.submit(_process_cell,
+                                 (index, run, dict(config)))
+
+        def eval_cell():
+            record = _eval_config(run, dict(config))
+            record.index = index
+            return record
+
+        return member.submit(eval_cell)
+
+    def _collect_cell(self, slot, device):
+        from repro.tuning.sweep import SweepRecord
+        index, member, run, config, future, attempts = slot
+        while True:
+            try:
+                record = future.result()
+            except (BrokenExecutor, OSError, RuntimeError) as exc:
+                member.settle(error=True)
+                self.metrics.inc("fleet.worker_crash")
+                member.revive()
+                if attempts > self.max_redispatch:
+                    self.metrics.inc("fleet.errors")
+                    return SweepRecord(
+                        config=dict(config), seconds=float("inf"),
+                        valid=False,
+                        error=(f"FleetWorkerError: cell {index} lost "
+                               f"{attempts} fleet worker(s) on "
+                               f"{member.key} ({type(exc).__name__}: "
+                               f"{exc}); redispatch budget "
+                               f"({self.max_redispatch}) exhausted"),
+                        index=index)
+                member = (self.place(device, affinity_key=index,
+                                     exclude=member)
+                          if device is not None else
+                          self._any_member(config))
+                future = self._submit_cell(member, index, run, config)
+                attempts += 1
+                self.metrics.inc("fleet.redispatch")
+                continue
+            member.settle(record, error=not getattr(record, "valid",
+                                                    True))
+            return record
+
+    # -- fleet-level reports ---------------------------------------------
+
+    def cache_report(self) -> Dict[str, int]:
+        """Aggregated cache-counter deltas across every member.
+
+        Sums the per-evaluation plan/gang/trace counter deltas each
+        result carried (the same ``plan_hits`` / ``gang_hits`` /
+        ``trace_*`` keys :attr:`Sweeper.cache_report` uses), plus —
+        on the warm thread backend — the members' own context
+        counters, so warm-path hits are visible either way.
+        """
+        report: Dict[str, int] = {}
+        for member in self.members:
+            for k, v in member.counters.items():
+                report[k] = report.get(k, 0) + v
+        return report
+
+    def busy_seconds(self) -> float:
+        """Total modeled seconds executed across the fleet."""
+        return sum(m.busy_seconds for m in self.members)
+
+    def makespan_seconds(self) -> float:
+        """Modeled completion time of the sharded workload.
+
+        The busiest member bounds the fleet: with N devices running
+        concurrently (in simulated time), the workload finishes when
+        the most-loaded one does.  ``busy / makespan`` is the fleet's
+        modeled throughput multiple over a single device — the number
+        BENCH_fleet.json tracks.
+        """
+        return max((m.busy_seconds for m in self.members), default=0.0)
+
+    def health_report(self) -> Dict[str, object]:
+        """Liveness + load + error picture of the whole fleet."""
+        status = "shutdown" if self._closed else "ok"
+        if not self._closed and any(m.errors for m in self.members):
+            status = "degraded"
+        return {
+            "status": status,
+            "name": self.name,
+            "pool": self.pool,
+            "placement": self.placement,
+            "devices": [m.device for m in self.members],
+            "members": [m.stats() for m in self.members],
+            "busy_modeled_s": self.busy_seconds(),
+            "makespan_modeled_s": self.makespan_seconds(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DeviceFleet {self.name!r} "
+                f"[{', '.join(m.key for m in self.members)}] "
+                f"pool={self.pool} placement={self.placement}>")

@@ -37,6 +37,12 @@ class Entry:
     probe: bool = False        # half-open breaker probe
     degrade: bool = False      # dispatched pre-degraded to RE
     admitted_at: float = field(default_factory=time.monotonic)
+    #: Resolution hook, called exactly once as ``hook(entry, ok)``
+    #: when the future resolves.  The service sets it to its
+    #: per-client attribution recorder — completion is the one point
+    #: every outcome path (worker reply, crash, deadline, shutdown)
+    #: funnels through, so counting here can't miss a resolution.
+    on_complete: Optional[Callable[["Entry", bool], None]] = None
     _done = False
 
     def complete(self, result=None, error: Optional[BaseException] = None
@@ -53,6 +59,11 @@ class Entry:
             self.future.set_exception(error)
         else:
             self.future.set_result(result)
+        if self.on_complete is not None:
+            try:
+                self.on_complete(self, error is None)
+            except Exception:
+                pass  # attribution must never break resolution
         return True
 
     @property

@@ -30,8 +30,9 @@ class ServiceClient:
     """Talk to a serve daemon over its localhost socket."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 connect_timeout: float = 5.0):
+                 connect_timeout: float = 5.0, client: str = ""):
         self.address = (host, port)
+        self.client = client
         self._sock = socket.create_connection(self.address,
                                               timeout=connect_timeout)
         self._sock.settimeout(None)  # request latency is the service's
@@ -62,14 +63,23 @@ class ServiceClient:
             raise payload
         return payload
 
-    def run(self, request, deadline: Optional[float] = None):
-        """Evaluate one request; returns its RunResult or raises typed."""
-        return self._call(("run", request, deadline))
+    def run(self, request, deadline: Optional[float] = None,
+            client: Optional[str] = None):
+        """Evaluate one request; returns its RunResult or raises typed.
+
+        *client* names the caller for the service's per-client
+        attribution (``client.*`` counters, ``/health`` rows); it
+        defaults to the name given at construction, and the server
+        falls back to the peer address when neither is set.
+        """
+        name = client if client is not None else self.client
+        return self._call(("run", request, deadline, name))
 
     def run_many(self, requests: Iterable,
-                 deadline: Optional[float] = None) -> List:
+                 deadline: Optional[float] = None,
+                 client: Optional[str] = None) -> List:
         """Evaluate requests in order on this connection."""
-        return [self.run(request, deadline=deadline)
+        return [self.run(request, deadline=deadline, client=client)
                 for request in requests]
 
     def health(self) -> dict:
@@ -82,8 +92,9 @@ class ServiceClient:
 class InProcClient:
     """The same client surface over an in-process service."""
 
-    def __init__(self, service):
+    def __init__(self, service, client: str = "inproc"):
         self.service = service
+        self.client = client
 
     def __enter__(self) -> "InProcClient":
         return self
@@ -94,14 +105,16 @@ class InProcClient:
     def close(self) -> None:
         pass
 
-    def run(self, request, deadline: Optional[float] = None):
+    def run(self, request, deadline: Optional[float] = None,
+            client: Optional[str] = None):
         return self.service.run(request, deadline=deadline,
-                                client="inproc")
+                                client=client or self.client)
 
     def run_many(self, requests: Iterable,
-                 deadline: Optional[float] = None) -> List:
+                 deadline: Optional[float] = None,
+                 client: Optional[str] = None) -> List:
         futures = [self.service.submit(r, deadline=deadline,
-                                       client="inproc")
+                                       client=client or self.client)
                    for r in requests]
         return [f.result() for f in futures]
 

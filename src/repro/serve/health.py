@@ -46,6 +46,25 @@ def _worker_rows(service) -> List[Dict[str, object]]:
     return rows
 
 
+def _client_rows(service) -> Dict[str, Dict[str, int]]:
+    """Aggregate the ``client.<name>.<event>`` counters per client.
+
+    The submit/resolution paths attribute every request to the
+    ``client`` tag it carried (``anon`` when untagged); this folds
+    those counters into one row per client —
+    ``{"alice": {"submitted": 3, "ok": 2, "err": 1}}`` — so `/health`
+    answers *who* is loading the service, not just how much.
+    """
+    rows: Dict[str, Dict[str, int]] = {}
+    for name, count in service.metrics.counters("client.").items():
+        tail = name[len("client."):]
+        client, _, event = tail.rpartition(".")
+        if not client:
+            continue
+        rows.setdefault(client, {})[event] = count
+    return rows
+
+
 def health_report(service) -> Dict[str, object]:
     """Build the full health dict for one service instance."""
     if service._stopped.is_set():
@@ -64,6 +83,7 @@ def health_report(service) -> Dict[str, object]:
         "workers": _worker_rows(service),
         "queue": service.admission.stats(),
         "breaker": service.breaker.stats(),
+        "clients": _client_rows(service),
         "metrics": service.metrics.snapshot(),
         "events": [{"age_s": now - t, "event": msg}
                    for t, msg in list(service._events)],

@@ -5,8 +5,10 @@ protocol onto a :class:`~repro.serve.supervisor.SpecializationService`.
 Frames are ``(op, ...)`` tuples (see :mod:`repro.serve.wire` for the
 framing and the localhost-only trust model):
 
-* ``("run", RunRequest, deadline_or_None)`` →
-  ``("ok", RunResult)`` or ``("err", ServiceError-instance)``;
+* ``("run", RunRequest, deadline_or_None[, client_name])`` →
+  ``("ok", RunResult)`` or ``("err", ServiceError-instance)`` —
+  the optional client name feeds per-client attribution, falling
+  back to the connection's peer address;
 * ``("health",)`` → ``("ok", health-dict)``;
 * ``("ping",)`` → ``("ok", "pong")``.
 
@@ -127,8 +129,9 @@ class ServiceServer:
             if op == "run":
                 request = msg[1]
                 deadline = msg[2] if len(msg) > 2 else None
+                name = msg[3] if len(msg) > 3 and msg[3] else client
                 future = self.service.submit(request, deadline=deadline,
-                                             client=client)
+                                             client=name)
                 return ("ok", future.result())
             raise ServiceProtocolError(f"unknown op {op!r}")
         except ServiceError as exc:

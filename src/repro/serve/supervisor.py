@@ -108,6 +108,11 @@ class WorkerHandle:
         self.last_beat = self.started_at
         self.dispatched_at = 0.0
         self.deadline_kill = False  # our kill, not the worker's fault
+        #: Device keys this worker has already built a warm context
+        #: for (the worker keeps one per device); dispatch prefers a
+        #: worker already warm for a request's device, so a
+        #: heterogeneous fleet workload lands on hot caches.
+        self.warm_devices: set = set()
 
 
 class SpecializationService:
@@ -202,11 +207,27 @@ class SpecializationService:
                 and request.deadline != deadline:
             request = dataclasses.replace(request, deadline=deadline)
         entry = Entry(id=next(self._ids), request=request,
-                      future=Future(), deadline=deadline, client=client)
-        self.admission.admit(entry)
+                      future=Future(), deadline=deadline, client=client,
+                      on_complete=self._attribute)
+        try:
+            self.admission.admit(entry)
+        except ServiceError:
+            self.metrics.inc(f"client.{client or 'anon'}.rejected")
+            raise
         self.metrics.inc("serve.submitted")
+        self.metrics.inc(f"client.{client or 'anon'}.submitted")
         self._wake()
         return entry.future
+
+    def _attribute(self, entry: Entry, ok: bool) -> None:
+        """Per-client outcome accounting (Entry resolution hook).
+
+        Thread-safety: runs wherever the entry resolves (supervisor
+        thread, or the caller's thread on pre-dispatch failures);
+        MetricsRegistry is lock-protected, so that's fine.
+        """
+        name = entry.client or "anon"
+        self.metrics.inc(f"client.{name}.{'ok' if ok else 'err'}")
 
     def run(self, request, deadline: Optional[float] = None,
             timeout: Optional[float] = None, client: str = ""):
@@ -314,6 +335,9 @@ class SpecializationService:
         except (OSError, ValueError, BrokenPipeError):
             self._worker_died(handle.slot, "send failed")
             return
+        device = getattr(getattr(request, "spec", None), "device", None)
+        if device:
+            handle.warm_devices.add(device)
         self.metrics.inc("serve.dispatch")
 
     def _map_worker_error(self, exc: Exception) -> ServiceError:
@@ -415,6 +439,26 @@ class SpecializationService:
                 return handle
         return None
 
+    def _affine_worker(self, entry: Entry) -> Optional[WorkerHandle]:
+        """An idle worker already warm for the entry's device, if any.
+
+        Device-affinity placement (the fleet's policy, applied to the
+        service's worker pool): under a heterogeneous workload, a
+        request preferentially lands on a worker that has already
+        built the warm per-device context its spec needs, instead of
+        paying a cold compile on whichever slot was first-idle.
+        """
+        device = getattr(getattr(entry.request, "spec", None),
+                         "device", None)
+        if device is None:
+            return None
+        for handle in self._handles:
+            if handle is not None and handle.busy is None \
+                    and device in handle.warm_devices:
+                self.metrics.inc("serve.affinity_hit")
+                return handle
+        return None
+
     def _busy_count(self) -> int:
         return sum(1 for h in self._handles
                    if h is not None and h.busy is not None)
@@ -445,7 +489,8 @@ class SpecializationService:
                     entry = self.admission.next_ready()
                     if entry is None:
                         break
-                    self._dispatch(handle, entry)
+                    self._dispatch(self._affine_worker(entry) or handle,
+                                   entry)
                 waitables = [self._wake_r]
                 for handle in self._handles:
                     if handle is not None:

@@ -89,7 +89,7 @@ def harness_sweep(app: str, problem, axes: Mapping[str, Iterable], *,
                   fault_plan: Optional[FaultPlan] = None,
                   jobs: int = 1, pool: str = "thread",
                   start_method: Optional[str] = None,
-                  trace: bool = False,
+                  trace: bool = False, fleet=None,
                   autotune: bool = False, **tuner_options) -> Sweeper:
     """Sweep *axes* for one app via the picklable harness protocol.
 
@@ -97,6 +97,11 @@ def harness_sweep(app: str, problem, axes: Mapping[str, Iterable], *,
     ``.records`` (grid order) and the exact ``.cache_report``.  With
     ``trace=True`` every cell is traced in its worker (thread or
     process) and the sweeper's own trace aggregates the cells.
+
+    ``fleet`` shards the grid across a
+    :class:`~repro.runtime.fleet.DeviceFleet` instead of a local pool
+    (*device* must be one of the fleet's device models); records merge
+    back in grid order, bit-identical to the unfleeted sweep.
 
     ``autotune=True`` replaces the exhaustive grid walk with the
     profile-guided :class:`~repro.tuning.autotune.AutoTuner`
@@ -124,7 +129,8 @@ def harness_sweep(app: str, problem, axes: Mapping[str, Iterable], *,
                            functional=functional, engine=engine,
                            fault_plan=fault_plan, trace=trace)
     sweeper = Sweeper(runner, jobs=jobs, pool=pool,
-                      start_method=start_method, trace=trace)
+                      start_method=start_method, trace=trace,
+                      fleet=fleet)
     sweeper.sweep(grid_configs(**{k: list(v) for k, v in axes.items()}))
     return sweeper
 

@@ -102,6 +102,13 @@ class Sweeper:
         start_method: multiprocessing start method for
             ``pool="process"`` (None = platform default; ``"spawn"``
             exercises a cold interpreter per worker).
+        fleet: a :class:`~repro.runtime.fleet.DeviceFleet` to shard
+            the grid across instead of this sweeper's own pool
+            (``jobs``/``pool`` are then ignored).  Cells stripe over
+            the fleet's members under its placement policy and merge
+            back in grid order, bit-identical to an unfleeted sweep;
+            worker deaths surface as typed ``FleetWorkerError``
+            records, mirroring the ``WorkerCrashError`` contract.
         trace: enable the sweep context's tracer.  Every cell records
             an ``eval:<index>`` span (thread-pool cells become roots on
             their worker threads); cells that traced inside a private
@@ -115,7 +122,8 @@ class Sweeper:
                  jobs: int = 1, pool: str = "thread",
                  context: Optional[ExecutionContext] = None,
                  start_method: Optional[str] = None,
-                 trace: bool = False):
+                 trace: bool = False,
+                 fleet=None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if pool not in POOLS:
@@ -125,6 +133,7 @@ class Sweeper:
         self.jobs = jobs
         self.pool = pool
         self.start_method = start_method
+        self.fleet = fleet
         #: Every evaluation of this sweep is charged to this context —
         #: its plan/gang counters see no other sweep's traffic.
         self.ctx = context or ExecutionContext(name="sweep")
@@ -184,7 +193,13 @@ class Sweeper:
 
     def _eval_all(self, configs: List[dict],
                   base: int = 0) -> List[SweepRecord]:
-        if self.jobs == 1 or len(configs) <= 1:
+        if self.fleet is not None:
+            # Shard the grid across the fleet's members; the fleet
+            # handles placement, typed crash records, and grid-order
+            # merge, and each cell's counters ride its record back
+            # into _account exactly as pool cells' do.
+            new = self.fleet.map_grid(self.run, configs, base)
+        elif self.jobs == 1 or len(configs) <= 1:
             new = [self._eval(base + i, c)
                    for i, c in enumerate(configs)]
         elif self.pool == "process":

@@ -1,0 +1,221 @@
+"""Capability-model tests: DeviceCaps, the three generations, the guard.
+
+The refactor's contract has three parts, each verified here:
+
+* the declarative :class:`DeviceCaps` fields/methods reproduce the
+  generation rules the engines used to branch on (segment sizes,
+  half-warp vs full-warp grouping, transaction billing);
+* the Kepler-class K20 — a device expressible *only* through the
+  capability model — behaves correctly through occupancy, coalescing,
+  compilation (``sm_35``), and whole-app runs, and the paper's
+  specialization win spans all three generations;
+* the grep guard: no source file outside ``gpusim/device.py`` may
+  compare ``compute_capability`` components ever again.
+"""
+
+import pathlib
+import re
+
+import numpy as np
+import pytest
+
+from repro.apps.harness import ProblemSpec, RunRequest, run_request
+from repro.apps.piv import PIVConfig, PIVProblem
+from repro.gpusim import (DEVICES, DeviceCaps, OccupancyError,
+                          TESLA_C1060, TESLA_C2070, TESLA_K20,
+                          default_caps, occupancy)
+from repro.gpusim.coalescing import (global_transactions,
+                                     shared_conflict_factor)
+from repro.gpusim.device import CAPS_FERMI, CAPS_KEPLER, CAPS_TESLA
+from repro.kernelc import nvcc
+
+FULL = np.ones(32, dtype=bool)
+
+
+def seq_addrs(base=0, stride=4):
+    return (base + np.arange(32, dtype=np.int64) * stride).astype(np.uint64)
+
+
+# ---------------------------------------------------------------------
+# The declarative capability set.
+# ---------------------------------------------------------------------
+
+class TestDeviceCaps:
+    def test_default_caps_per_generation(self):
+        assert default_caps((1, 3)) is CAPS_TESLA
+        assert default_caps((1, 2)) is CAPS_TESLA
+        assert default_caps((2, 0)) is CAPS_FERMI
+        assert default_caps((2, 1)) is CAPS_FERMI
+        assert default_caps((3, 0)) is CAPS_KEPLER
+        assert default_caps((3, 5)) is CAPS_KEPLER
+
+    def test_specs_carry_their_generation_caps(self):
+        assert TESLA_C1060.caps is CAPS_TESLA
+        assert TESLA_C2070.caps is CAPS_FERMI
+        assert TESLA_K20.caps is CAPS_KEPLER
+
+    def test_tesla_narrow_segment_rule(self):
+        # CC 1.x shrinks the 128B segment for narrow accesses.
+        assert CAPS_TESLA.segment_bytes(1) == 32
+        assert CAPS_TESLA.segment_bytes(2) == 64
+        assert CAPS_TESLA.segment_bytes(4) == 128
+        assert CAPS_TESLA.segment_bytes(8) == 128
+
+    def test_full_warp_devices_use_line_size(self):
+        for caps in (CAPS_FERMI, CAPS_KEPLER):
+            for itemsize in (1, 2, 4, 8):
+                assert caps.segment_bytes(itemsize) == 128
+
+    def test_group_spans(self):
+        assert TESLA_C1060.coalesce_groups() == ((0, 16), (16, 32))
+        assert TESLA_C1060.shared_groups() == ((0, 16), (16, 32))
+        for spec in (TESLA_C2070, TESLA_K20):
+            assert spec.coalesce_groups() == ((0, 32),)
+            assert spec.shared_groups() == ((0, 32),)
+
+    def test_transaction_billing(self):
+        assert TESLA_C1060.coalesce_line_bytes() == 64
+        assert TESLA_C2070.coalesce_line_bytes() == 128
+        assert TESLA_K20.coalesce_line_bytes() == 128
+
+    def test_mul24_inversion(self):
+        # The paper's §2.4 inversion: mul24 native on CC 1.x only.
+        assert TESLA_C1060.caps.native_mul24
+        assert not TESLA_C2070.caps.native_mul24
+        assert not TESLA_K20.caps.native_mul24
+        assert TESLA_C1060.issue_cost["mul24"] \
+            < TESLA_C1060.issue_cost["imul"]
+        assert TESLA_C2070.issue_cost["imul"] \
+            < TESLA_C2070.issue_cost["mul24"]
+
+    def test_caps_override_is_honored(self):
+        from repro.gpusim import DeviceSpec
+        import dataclasses
+        odd = DeviceCaps(full_warp_coalescing=True,
+                         coalesce_line_bytes=256,
+                         smem_half_warp=False, native_mul24=False)
+        spec = dataclasses.replace(TESLA_C2070, caps=odd)
+        assert spec.coalesce_line_bytes() == 256
+        # while a None caps re-derives from the CC tuple
+        spec2 = dataclasses.replace(TESLA_C2070, caps=None)
+        assert spec2.caps is CAPS_FERMI
+        assert isinstance(spec2, DeviceSpec)
+
+
+# ---------------------------------------------------------------------
+# The Kepler-class device, unit level.
+# ---------------------------------------------------------------------
+
+class TestK20:
+    def test_registry_and_arch(self):
+        assert DEVICES["k20"] is TESLA_K20
+        assert TESLA_K20.arch == "sm_35"
+        assert TESLA_K20.compute_capability == (3, 5)
+
+    def test_sm35_compiles_with_arch_macro(self):
+        src = """
+        __global__ void probe(int *out) {
+        #if __CUDA_ARCH__ >= 350
+            out[threadIdx.x] = 1;
+        #else
+            out[threadIdx.x] = 0;
+        #endif
+        }
+        """
+        module = nvcc(src, arch="sm_35")
+        assert "probe" in module.kernels
+
+    def test_coalescing_matches_fermi_rule(self):
+        # Same full-warp 128B line rule as Fermi, by capability.
+        for addrs, expect in [(seq_addrs(), 1),
+                              (seq_addrs(base=64), 2),
+                              (seq_addrs(stride=128), 32)]:
+            assert global_transactions(addrs, FULL, 4, TESLA_K20) \
+                == global_transactions(addrs, FULL, 4, TESLA_C2070) \
+                == expect
+
+    def test_bank_conflicts_full_warp(self):
+        # 32 banks, full-warp resolution: stride-2 word indices
+        # conflict 2-way on K20 just as on Fermi.
+        addrs = (np.arange(32, dtype=np.int64) * 8).astype(np.uint64)
+        k20 = shared_conflict_factor(addrs, FULL, 4, TESLA_K20)
+        fermi = shared_conflict_factor(addrs, FULL, 4, TESLA_C2070)
+        assert k20 == fermi == 2.0
+
+    def test_occupancy_uses_wider_sm_limits(self):
+        # 64 warps/SM and 16 blocks/SM: a tiny block count-caps at 16.
+        occ = occupancy(TESLA_K20, 64, 16, 0)
+        assert occ.blocks_per_sm == 16
+        occ = occupancy(TESLA_K20, 1024, 32, 0)
+        assert occ.warps_per_sm == 64
+        assert occ.fraction(TESLA_K20) == 1.0
+
+    def test_occupancy_register_headroom(self):
+        # 100 regs/thread is fatal on Fermi (63 cap), fine on K20.
+        with pytest.raises(OccupancyError):
+            occupancy(TESLA_C2070, 64, 100, 0)
+        assert occupancy(TESLA_K20, 64, 100, 0).blocks_per_sm >= 1
+
+    def test_k20_not_equal_fermi_spec(self):
+        assert TESLA_K20.regs_per_sm == 2 * TESLA_C2070.regs_per_sm
+        assert TESLA_K20.max_regs_per_thread == 255
+
+
+# ---------------------------------------------------------------------
+# App level: the paper's claim holds on every generation.
+# ---------------------------------------------------------------------
+
+class TestThreeGenerations:
+    """One PIV problem, three devices: SK wins, results bit-identical."""
+
+    PROBLEM = PIVProblem("gen", 40, 40, mask=8, offs=3)
+
+    def _result(self, device, specialize):
+        spec = ProblemSpec(app="piv", problem=self.PROBLEM, seed=5,
+                           device=device, memory_bytes=8 << 20)
+        config = PIVConfig(rb=2, threads=32, specialize=specialize,
+                           functional=True)
+        return run_request(RunRequest(spec=spec, config=config))
+
+    @pytest.mark.parametrize("device", sorted(DEVICES))
+    def test_specialization_wins_and_is_bit_identical(self, device):
+        sk = self._result(device, True)
+        re_ = self._result(device, False)
+        assert sk.seconds <= re_.seconds
+        assert sk.same_output(re_)
+
+    def test_generations_rank_plausibly(self):
+        # Newer devices model faster on the same workload.
+        seconds = {d: self._result(d, True).seconds for d in DEVICES}
+        assert seconds["c2070"] < seconds["c1060"]
+        assert seconds["k20"] < seconds["c1060"]
+
+
+# ---------------------------------------------------------------------
+# The guard: device.py is the only place that may compare CC tuples.
+# ---------------------------------------------------------------------
+
+class TestCapabilityGuard:
+    SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+    def test_no_cc_comparisons_outside_device_py(self):
+        """Generation conditionals must live on DeviceCaps, nowhere else.
+
+        Any ``compute_capability[...]`` read outside device.py is a
+        re-derivation of a capability and regresses the refactor; this
+        guard makes the review rule mechanical.
+        """
+        pattern = re.compile(r"compute_capability\s*\[")
+        offenders = []
+        for path in sorted(self.SRC.rglob("*.py")):
+            if path.name == "device.py" \
+                    and path.parent.name == "gpusim":
+                continue
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), 1):
+                if pattern.search(line):
+                    offenders.append(f"{path}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "compute_capability indexing found outside "
+            "gpusim/device.py — use the DeviceCaps capability model "
+            "instead:\n" + "\n".join(offenders))

@@ -13,7 +13,10 @@ The robustness contract (the SK→RE story under failure):
   raise :class:`PipelineFaultError`.
 """
 
+import os
+import signal
 import threading
+from dataclasses import dataclass
 
 import numpy as np
 import pytest
@@ -543,3 +546,92 @@ class TestHealthReport:
                                         "latch_timeouts"}
         assert report["cache"]["misses"] >= 1
         assert report["iterations"] == 1
+
+
+# ---------------------------------------------------------------------
+# Fleet chaos: a member's worker dies mid-shard.
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CrashOnceRunner:
+    """Picklable grid evaluator whose chosen cell SIGKILLs its worker
+    exactly once: the sentinel file is created *before* the kill, so
+    the redispatched attempt sees it and completes normally."""
+
+    sentinel: str
+    crash_cell: int
+    axis: str = "cell"
+
+    def __call__(self, config):
+        from repro.tuning.sweep import SweepRecord
+        cell = config[self.axis]
+        if cell == self.crash_cell and not os.path.exists(self.sentinel):
+            open(self.sentinel, "w").close()
+            os.kill(os.getpid(), signal.SIGKILL)
+        return SweepRecord(config=dict(config),
+                           seconds=0.001 * (cell + 1))
+
+
+class TestFleetChaos:
+    """Kill one fleet worker mid-shard: the merged result is still
+    bit-identical (redispatch absorbed the death) or a typed
+    ``FleetWorkerError`` (budget exhausted) — never a hang or a bare
+    exception."""
+
+    CONFIGS = [{"cell": i} for i in range(4)]
+
+    def baseline(self, run):
+        from repro.tuning.sweep import Sweeper
+        sweeper = Sweeper(run)
+        return [(r.index, r.key(), r.seconds, r.valid)
+                for r in sweeper.sweep(list(self.CONFIGS))]
+
+    def test_transient_death_merges_bit_identical(self, tmp_path):
+        from repro.runtime import DeviceFleet
+        sentinel = str(tmp_path / "crashed-once")
+        run = CrashOnceRunner(sentinel=sentinel, crash_cell=2)
+        expected = self.baseline(
+            CrashOnceRunner(sentinel=sentinel, crash_cell=-1))
+        with DeviceFleet(["c2070"] * 2, pool="process",
+                         max_redispatch=1) as fleet:
+            records = fleet.map_grid(run, list(self.CONFIGS))
+            got = [(r.index, r.key(), r.seconds, r.valid)
+                   for r in records]
+            assert got == expected
+            counters = fleet.metrics.snapshot()["counters"]
+            assert counters["fleet.worker_crash"] >= 1
+            assert counters["fleet.redispatch"] >= 1
+        assert os.path.exists(sentinel)  # the crash really happened
+
+    def test_persistent_death_is_a_typed_record(self):
+        from repro.serve import KamikazeRunner
+        from repro.runtime import DeviceFleet
+        run = KamikazeRunner(crash_cells=(1,))
+        with DeviceFleet(["c2070"] * 2, pool="process",
+                         max_redispatch=1) as fleet:
+            records = fleet.map_grid(run, list(self.CONFIGS))
+            by_cell = {r.config["cell"]: r for r in records}
+            assert not by_cell[1].valid
+            assert by_cell[1].error.startswith("FleetWorkerError")
+            # survivors keep their results, in grid order
+            for cell in (0, 2, 3):
+                assert by_cell[cell].valid
+                assert by_cell[cell].seconds == 0.001 * (cell + 1)
+            assert [r.index for r in records] == [0, 1, 2, 3]
+            assert fleet.metrics.snapshot()["counters"][
+                "fleet.errors"] == 1
+
+    def test_fleet_survives_for_further_work(self):
+        """A revived member keeps serving after its worker died."""
+        from repro.runtime import DeviceFleet
+        from repro.serve import KamikazeRunner
+        with DeviceFleet(["c2070"], pool="process",
+                         max_redispatch=0) as fleet:
+            first = fleet.map_grid(KamikazeRunner(crash_cells=(0,)),
+                                   [{"cell": 0}])
+            assert not first[0].valid
+            second = fleet.map_grid(KamikazeRunner(crash_cells=()),
+                                    [{"cell": 5}])
+            assert second[0].valid
+            assert second[0].seconds == 0.001 * 6
+            assert fleet.members[0].generation >= 2

@@ -935,3 +935,76 @@ class TestServiceTCP:
             results = client.run_many([SleepRequest(0.01),
                                        SleepRequest(0.02)])
             assert [r.seconds for r in results] == [0.01, 0.02]
+
+
+# ---------------------------------------------------------------------
+# Per-client attribution and device-affinity dispatch.
+# ---------------------------------------------------------------------
+
+class TestClientAttribution:
+    def test_health_reports_per_client_counts(self):
+        with SpecializationService(fast_config(workers=1)) as svc:
+            svc.run(piv_request(), client="alice")
+            svc.run(piv_request(), client="alice")
+            svc.run(tm_request(), client="bob")
+            svc.run(piv_request())  # untagged -> "anon"
+            health = svc.health()
+        assert health["clients"]["alice"] \
+            == {"submitted": 2, "ok": 2}
+        assert health["clients"]["bob"] == {"submitted": 1, "ok": 1}
+        assert health["clients"]["anon"] == {"submitted": 1, "ok": 1}
+
+    def test_rejected_submission_attributed(self):
+        with SpecializationService(fast_config(workers=1)) as svc:
+            with pytest.raises(ServiceDeadlineError):
+                svc.submit(piv_request(),
+                           deadline=time.monotonic() - 1.0,
+                           client="carol")
+            health = svc.health()
+        assert health["clients"]["carol"] == {"rejected": 1}
+
+    def test_error_outcome_attributed(self):
+        cfg = fast_config(workers=1, max_redispatch=0)
+        with SpecializationService(cfg) as svc:
+            with pytest.raises(ServiceWorkerError):
+                svc.run(CrashRequest(crashes=0), client="dave")
+            health = svc.health()
+        row = health["clients"]["dave"]
+        assert row["submitted"] == 1 and row["err"] == 1
+
+    def test_tcp_client_name_rides_the_wire(self, tcp_service):
+        host, port = tcp_service.address
+        with ServiceClient(host=host, port=port,
+                           client="erin") as named:
+            named.run(piv_request())
+            named.run(piv_request(), client="frank")  # per-call override
+        with ServiceClient(host=host, port=port) as anon:
+            anon.run(piv_request())
+            health = anon.health()
+        assert health["clients"]["erin"] == {"submitted": 1, "ok": 1}
+        assert health["clients"]["frank"] == {"submitted": 1, "ok": 1}
+        # unnamed TCP callers attribute to their peer address
+        addr_rows = [name for name in health["clients"]
+                     if name.startswith("127.0.0.1:")]
+        assert len(addr_rows) == 1
+        assert health["clients"][addr_rows[0]] \
+            == {"submitted": 1, "ok": 1}
+
+
+class TestDeviceAffinity:
+    def test_repeat_device_lands_on_warm_worker(self):
+        spec = ProblemSpec(app="piv",
+                           problem=PIVProblem("aff", 40, 40, mask=8,
+                                              offs=3),
+                           seed=3, device="k20", memory_bytes=8 << 20)
+        req = RunRequest(spec=spec,
+                         config=PIVConfig(rb=2, threads=32,
+                                          functional=True))
+        with SpecializationService(fast_config(workers=2)) as svc:
+            first = svc.run(req)
+            second = svc.run(req)
+            health = svc.health()
+        # the second dispatch preferred the worker already warm for
+        # k20 over plain first-idle selection
+        assert second.worker == first.worker
+        assert health["metrics"]["counters"]["serve.affinity_hit"] >= 1
