@@ -42,6 +42,7 @@ from repro.data import particle_image_pair, template_sequence
 from repro.faults.errors import DeadlineExceeded
 from repro.faults.plan import FaultPlan
 from repro.gpusim import DEVICES, GPU
+from repro.obs.trace import TraceContext
 from repro.runtime.context import (ExecutionContext, current_context,
                                    using_context)
 
@@ -110,6 +111,12 @@ class RunRequest:
     #: breaker sets this while open so a poisoned SK compile path is
     #: skipped entirely instead of re-failing per request.
     degrade: bool = False
+    #: Cross-process trace propagation (see
+    #: :class:`~repro.obs.trace.TraceContext`): when set, the request
+    #: is traced regardless of ``trace`` and the worker tracer is named
+    #: after ``trace_ctx.trace_id``, so the supervisor can graft the
+    #: shipped span tree under its own span for this request.
+    trace_ctx: Optional[TraceContext] = None
 
 
 @dataclass
@@ -145,6 +152,15 @@ class RunResult:
     #: service.
     worker: str = ""
     attempts: int = 1
+    #: Host wall-clock seconds spent inside the evaluation (as opposed
+    #: to ``seconds``, the *simulated* kernel time) — what the serve
+    #: supervisor's latency histograms and span grafting need.
+    wall_seconds: float = 0.0
+    #: Flight-recorder events recorded *during* this evaluation (traced
+    #: requests only): the delta of the run context's
+    #: :class:`~repro.obs.FlightRecorder` stream, shipped as plain
+    #: dicts so the supervisor can fold them into its own recorder.
+    events: List[Dict[str, object]] = field(default_factory=list)
 
     def same_output(self, other: "RunResult") -> bool:
         """Bit-identical functional output (both-None counts)."""
@@ -337,16 +353,26 @@ def run_request(request: RunRequest,
     if request.fault_plan is not None:
         injector = ctx.install_faults(request.fault_plan)
     had_tracer = ctx.tracer is not None
-    tracer = ctx.enable_tracing(f"run:{spec.app}") if request.trace \
-        else None
+    tracer = None
+    if request.trace or request.trace_ctx is not None:
+        name = request.trace_ctx.trace_id if request.trace_ctx \
+            else f"run:{spec.app}"
+        tracer = ctx.enable_tracing(name)
+    events_before = ctx.events.last_seq
+    wall_start = time.perf_counter()
     try:
         with using_context(ctx), ctx.deadline_scope(request.deadline):
             if tracer is None:
                 result = harness.execute(spec, config, context=ctx)
             else:
+                attrs = {"app": spec.app, "device": spec.device,
+                         "seed": spec.seed}
+                if request.trace_ctx is not None:
+                    attrs["trace_id"] = request.trace_ctx.trace_id
+                    if request.trace_ctx.client:
+                        attrs["client"] = request.trace_ctx.client
                 with tracer.span(f"request:{spec.app}", "harness",
-                                 app=spec.app, device=spec.device,
-                                 seed=spec.seed) as span:
+                                 **attrs) as span:
                     result = harness.execute(spec, config, context=ctx)
                     span.attrs["sim_seconds"] = result.seconds
     finally:
@@ -354,6 +380,7 @@ def run_request(request: RunRequest,
             ctx.clear_faults()
         if tracer is not None and not had_tracer:
             ctx.disable_tracing()
+    result.wall_seconds = time.perf_counter() - wall_start
     result.counters = ctx.cache_counters()
     if before is not None:
         result.counters = {k: result.counters[k] - before[k]
@@ -365,4 +392,5 @@ def run_request(request: RunRequest,
         result.trace = tracer.to_dict()
         result.metrics = ctx.metrics_snapshot()
         result.profiles = list(tracer.profiles)
+        result.events = ctx.events.since(events_before)
     return result

@@ -208,6 +208,12 @@ class KernelCache:
         with self._lock:
             self.corrupt += 1
         try:
+            from repro.runtime.context import current_context
+            current_context().events.record("cache.quarantine",
+                                            path=os.path.basename(path))
+        except Exception:  # pragma: no cover - forensics must never wedge
+            pass
+        try:
             os.replace(path, path + ".corrupt")
         except OSError:
             try:

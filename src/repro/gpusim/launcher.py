@@ -244,6 +244,12 @@ class GPU:
         metrics.observe("launch.occupancy", profile.occupancy)
         metrics.observe("launch.mem_transactions",
                         profile.mem_transactions)
+        if profile.trace_deopts:
+            # One flight event per traced launch that saw deopts — not
+            # per deopt, which would put a recorder append inside the
+            # engine's guard-failure loop.
+            self.ctx.events.record("trace.deopt", kernel=kernel.name,
+                                   deopts=profile.trace_deopts)
         return result
 
     def _launch_impl(self, kernel: CompiledKernel, grid: Dim,

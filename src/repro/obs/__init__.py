@@ -1,28 +1,46 @@
-"""Observability: context-scoped tracing, metrics, launch profiles.
+"""Observability: tracing, metrics, flight recorder, launch profiles.
 
 The subsystem the dissertation's timing/occupancy tables imply: every
 :class:`~repro.runtime.context.ExecutionContext` owns a
-:class:`MetricsRegistry` (always on — counters are cheap and exact) and
-an optional :class:`Tracer` (off by default; ``trace=True`` switches on
-:class:`~repro.gpupf.pipeline.Pipeline`,
+:class:`MetricsRegistry` (always on — counters are cheap and exact), a
+:class:`FlightRecorder` (bounded ring of structured events, also always
+on), and an optional :class:`Tracer` (off by default; ``trace=True``
+switches on :class:`~repro.gpupf.pipeline.Pipeline`,
 :class:`~repro.apps.harness.RunRequest`, and
 :class:`~repro.tuning.sweep.Sweeper` enable it).  Traced launches emit
-:class:`LaunchProfile` records; exporters render Chrome/Perfetto JSON,
-text summaries, and metric tables; ``python -m repro.obs.report``
-inspects and validates exported traces.
+:class:`LaunchProfile` records; registry histograms are log-bucketed
+:class:`LatencyHistogram` instances with p50/p95/p99 estimation and SLO
+breach counters.
 
-See DESIGN.md §8 for the span taxonomy and metric namespace.
+Cross-process: a :class:`TraceContext` on a
+:class:`~repro.apps.harness.RunRequest` makes serve workers and fleet
+members ship their span trees, metrics, profiles, and flight events
+back with each result, and the supervisor grafts them into one
+end-to-end tree.  Exporters render Chrome/Perfetto JSON, text
+summaries, metric tables, and Prometheus text exposition
+(:func:`prom_exposition`); ``python -m repro.obs.report`` inspects and
+validates exported traces, ``python -m repro.obs.tail`` reads flight-
+recorder dumps.
+
+See DESIGN.md §8 for the span taxonomy and metric namespace, §13 for
+the distributed telemetry plane.
 """
 
+from repro.obs.events import EVENT_KINDS, FlightRecorder, validate_events
 from repro.obs.export import (chrome_trace, metrics_table, summary_tree,
                               validate_chrome, write_trace)
+from repro.obs.hist import GROWTH, LatencyHistogram
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import LaunchProfile
-from repro.obs.trace import Span, Tracer, current_tracer
+from repro.obs.prom import prom_exposition, validate_prom
+from repro.obs.trace import Span, TraceContext, Tracer, current_tracer
 
 __all__ = [
-    "Tracer", "Span", "current_tracer",
+    "Tracer", "Span", "TraceContext", "current_tracer",
     "MetricsRegistry", "LaunchProfile",
+    "GROWTH", "LatencyHistogram",
+    "FlightRecorder", "EVENT_KINDS", "validate_events",
+    "prom_exposition", "validate_prom",
     "chrome_trace", "write_trace", "validate_chrome",
     "summary_tree", "metrics_table",
 ]

@@ -36,13 +36,16 @@ _INSTANT_CATS = frozenset({"event", "fault", "cache"})
 
 def chrome_trace(exported: Dict[str, Any],
                  metrics: Optional[Dict[str, Any]] = None,
+                 events: Optional[List[Dict[str, Any]]] = None,
                  pid: int = 1) -> Dict[str, Any]:
     """Render a tracer export as a Chrome Trace Event document.
 
     *metrics* (a :meth:`MetricsRegistry.snapshot`) is embedded under
-    ``otherData.metrics`` so one file carries the whole run.
+    ``otherData.metrics`` and *events* (a flight-recorder event list,
+    see :mod:`repro.obs.events`) under ``otherData.events``, so one
+    file carries the whole run.
     """
-    events: List[Dict[str, Any]] = []
+    trace_events: List[Dict[str, Any]] = []
     for span in exported.get("spans", []):
         args = dict(span["attrs"])
         args["sid"] = span["sid"]
@@ -57,19 +60,23 @@ def chrome_trace(exported: Dict[str, Any],
         else:
             event["ph"] = "X"
             event["dur"] = span["dur"] * 1e6
-        events.append(event)
+        trace_events.append(event)
     other: Dict[str, Any] = {"trace_name": exported.get("name", "trace")}
     if metrics is not None:
         other["metrics"] = metrics
-    return {"traceEvents": events, "displayTimeUnit": "ms",
+    if events is not None:
+        other["events"] = list(events)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms",
             "otherData": other}
 
 
 def write_trace(path: str, exported: Dict[str, Any],
-                metrics: Optional[Dict[str, Any]] = None) -> None:
+                metrics: Optional[Dict[str, Any]] = None,
+                events: Optional[List[Dict[str, Any]]] = None) -> None:
     """Write the Chrome-trace JSON for *exported* to *path*."""
     with open(path, "w") as fh:
-        json.dump(chrome_trace(exported, metrics=metrics), fh, indent=1)
+        json.dump(chrome_trace(exported, metrics=metrics, events=events),
+                  fh, indent=1)
         fh.write("\n")
 
 
@@ -187,10 +194,17 @@ def metrics_table(snapshot: Dict[str, Any],
                      snapshot["counters"][name], ""])
     for name in sorted(snapshot.get("gauges", {})):
         rows.append([name, "gauge", snapshot["gauges"][name], ""])
+    all_buckets = snapshot.get("buckets", {})
     for name in sorted(snapshot.get("histograms", {})):
         h = snapshot["histograms"][name]
-        rows.append([name, "histogram", h["count"],
-                     f"mean={h['mean']:.4g} min={h['min']:.4g} "
-                     f"max={h['max']:.4g}"])
+        detail = (f"mean={h['mean']:.4g} min={h['min']:.4g} "
+                  f"max={h['max']:.4g}")
+        sparse = all_buckets.get(name)
+        if sparse:
+            from repro.obs.hist import LatencyHistogram
+            qs = LatencyHistogram.from_parts(h, sparse).quantiles()
+            detail += " " + " ".join(f"{k}={v:.4g}"
+                                     for k, v in qs.items())
+        rows.append([name, "histogram", h["count"], detail])
     return format_table(["metric", "kind", "value", "detail"], rows,
                         title=title)

@@ -1,0 +1,165 @@
+"""Log-bucketed latency histograms with bounded-error quantiles.
+
+A :class:`LatencyHistogram` records positive samples (latencies in
+seconds, modeled cycles, byte counts...) into geometrically-spaced
+buckets: bucket *i* covers ``[GROWTH**i, GROWTH**(i+1))``.  Buckets are
+sparse (a dict of index -> count), so a histogram costs memory only for
+the value ranges it actually saw, and two histograms merge by adding
+bucket counts — the property that lets per-worker observations ship
+across process boundaries and aggregate exactly.
+
+**Quantile error bound.**  :meth:`quantile` locates the bucket holding
+the requested rank and geometrically interpolates inside it, so the
+estimate and the true order statistic lie in the same bucket: the
+relative error is bounded by one bucket's width, a factor of
+:data:`GROWTH` (~9% with the default ``2**(1/8)`` spacing).  The
+``tests/test_obs_plane.py`` quantile suite asserts exactly this bound
+against :func:`numpy.percentile` on random workloads.
+
+The summary fields (count/sum/min/max) match what
+:class:`~repro.obs.metrics.MetricsRegistry` historically kept, so the
+registry now backs every ``observe()`` with one of these at the cost of
+a ``math.log`` and a dict bump per sample (measured in
+``BENCH_obs.json`` as ``hist_observe_ns``).  Instances are not locked —
+the registry serializes access; standalone users on multiple threads
+must bring their own lock.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = ["GROWTH", "LatencyHistogram", "bucket_index", "bucket_bounds"]
+
+#: Geometric bucket growth factor: 8 buckets per octave (~9.05% wide).
+GROWTH = 2.0 ** 0.125
+
+_LOG_GROWTH = math.log(GROWTH)
+
+#: Values at or below this clamp into the bottom bucket (log of zero or
+#: a negative latency is a caller bug we degrade gracefully on).
+_TINY = 1e-12
+
+_TINY_INDEX = math.floor(math.log(_TINY) / _LOG_GROWTH)
+
+
+def bucket_index(value: float) -> int:
+    """The bucket index covering *value* (clamped below at ``_TINY``)."""
+    if value <= _TINY:
+        return _TINY_INDEX
+    return math.floor(math.log(value) / _LOG_GROWTH)
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """The ``[lo, hi)`` value range of bucket *index*."""
+    return GROWTH ** index, GROWTH ** (index + 1)
+
+
+class LatencyHistogram:
+    """Sparse log-bucketed histogram with (count, sum, min, max)."""
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[int, int] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Fold one sample in (one log, one dict bump)."""
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        idx = bucket_index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    # -- reading -------------------------------------------------------
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the *q*-quantile (0 < q <= 1) of the recorded values.
+
+        Returns ``None`` on an empty histogram (or one rebuilt from a
+        pre-bucket summary, which has counts but no bucket detail).
+        The estimate lies in the same bucket as the true order
+        statistic, so its relative error is at most one bucket width
+        (a factor of :data:`GROWTH`); it is additionally clamped into
+        ``[min, max]``, which tightens small samples.
+        """
+        if self.count <= 0 or not self.buckets:
+            return None
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile q must be in (0, 1], got {q}")
+        target = q * self.count
+        cum = 0
+        for idx in sorted(self.buckets):
+            n = self.buckets[idx]
+            if cum + n >= target:
+                lo, _hi = bucket_bounds(idx)
+                # Geometric interpolation by rank fraction inside the
+                # bucket: stays within the bucket's bounds.
+                frac = (target - cum) / n
+                estimate = lo * GROWTH ** frac
+                return min(max(estimate, self.min), self.max)
+            cum += n
+        return self.max
+
+    def quantiles(self, qs: Iterable[float] = (0.5, 0.95, 0.99)
+                  ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` (empty when empty)."""
+        out: Dict[str, float] = {}
+        for q in qs:
+            value = self.quantile(q)
+            if value is not None:
+                out[f"p{round(q * 100)}"] = value
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """The registry's historical summary dict (no bucket detail)."""
+        return {"count": self.count, "sum": self.sum,
+                "mean": self.sum / self.count if self.count else 0.0,
+                "min": self.min, "max": self.max}
+
+    # -- merge / rebuild ----------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold *other* in: summaries combine, bucket counts add."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+
+    @classmethod
+    def from_parts(cls, summary: Mapping[str, float],
+                   buckets: Optional[Mapping] = None
+                   ) -> "LatencyHistogram":
+        """Rebuild from a snapshot's summary + optional bucket dict.
+
+        Bucket keys may be ints or strings (a snapshot that round-
+        tripped through JSON stringifies them).
+        """
+        h = cls()
+        h.count = int(summary["count"])
+        h.sum = float(summary["sum"])
+        h.min = float(summary["min"])
+        h.max = float(summary["max"])
+        if buckets:
+            h.buckets = {int(k): int(v) for k, v in buckets.items()}
+        return h
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LatencyHistogram n={self.count} "
+                f"buckets={len(self.buckets)}>")

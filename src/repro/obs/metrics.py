@@ -8,8 +8,15 @@
   ``fault.launch``, ``retry.compile``, ``sweep.cells``;
 * **gauges** — last-written values (`gauge`), e.g.
   ``pipeline.iterations``;
-* **histograms** — running (count, sum, min, max) summaries
-  (`observe`), e.g. ``launch.cycles``.
+* **histograms** — log-bucketed :class:`~repro.obs.hist.LatencyHistogram`
+  instances (`observe`), e.g. ``launch.cycles`` or
+  ``client.alice.latency_s``, carrying both the classic
+  (count, sum, min, max) summary and sparse buckets for
+  p50/p95/p99 estimation via :meth:`quantile`.
+
+Histograms can carry **SLO thresholds** (:meth:`set_slo`): every
+observation above the threshold bumps the ``slo.breach.{name}``
+counter, which the serve daemon surfaces per client in ``/health``.
 
 Metric names follow the context counter convention documented in
 :mod:`repro.runtime.context`: dotted ``subsystem.event`` (see
@@ -27,6 +34,8 @@ import threading
 from collections import Counter
 from typing import Any, Dict, Iterable, Optional, Tuple
 
+from repro.obs.hist import LatencyHistogram
+
 __all__ = ["MetricsRegistry"]
 
 
@@ -37,8 +46,8 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: Counter = Counter()
         self._gauges: Dict[str, float] = {}
-        # name -> [count, sum, min, max]
-        self._hists: Dict[str, list] = {}
+        self._hists: Dict[str, LatencyHistogram] = {}
+        self._slos: Dict[str, float] = {}
 
     # -- instruments ---------------------------------------------------
 
@@ -53,18 +62,15 @@ class MetricsRegistry:
             self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Record *value* into histogram *name*."""
+        """Record *value* into histogram *name* (and check its SLO)."""
         with self._lock:
             h = self._hists.get(name)
             if h is None:
-                self._hists[name] = [1, value, value, value]
-            else:
-                h[0] += 1
-                h[1] += value
-                if value < h[2]:
-                    h[2] = value
-                if value > h[3]:
-                    h[3] = value
+                h = self._hists[name] = LatencyHistogram()
+            h.record(value)
+            slo = self._slos.get(name)
+            if slo is not None and value > slo:
+                self._counters[f"slo.breach.{name}"] += 1
 
     def time(self, name: str):
         """``with registry.time("serve.exec_s"):`` — observe wall time.
@@ -74,6 +80,20 @@ class MetricsRegistry:
         and execution latency summaries.
         """
         return _Timer(self, name)
+
+    # -- SLOs ----------------------------------------------------------
+
+    def set_slo(self, name: str, threshold: float) -> None:
+        """Declare an SLO: observations of *name* above *threshold*
+        seconds (or whatever unit the histogram records) increment the
+        ``slo.breach.{name}`` counter.  Last write wins."""
+        with self._lock:
+            self._slos[name] = float(threshold)
+
+    def slos(self) -> Dict[str, float]:
+        """The declared SLO thresholds (histogram name -> threshold)."""
+        with self._lock:
+            return dict(self._slos)
 
     # -- reading -------------------------------------------------------
 
@@ -89,47 +109,70 @@ class MetricsRegistry:
             return {k: v for k, v in self._counters.items()
                     if k.startswith(prefix)}
 
+    def quantile(self, name: str, q: float) -> Optional[float]:
+        """The *q*-quantile estimate for histogram *name*.
+
+        ``None`` when the histogram doesn't exist or has no bucket
+        detail; otherwise accurate to one log-bucket (see
+        :mod:`repro.obs.hist`).
+        """
+        with self._lock:
+            h = self._hists.get(name)
+            return h.quantile(q) if h is not None else None
+
+    def quantiles(self, name: str,
+                  qs: Iterable[float] = (0.5, 0.95, 0.99)
+                  ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for histogram *name*
+        (empty dict when unknown/empty)."""
+        with self._lock:
+            h = self._hists.get(name)
+            return h.quantiles(qs) if h is not None else {}
+
     def snapshot(self) -> Dict[str, Any]:
         """One coherent view of every instrument.
 
         Returns ``{"counters": {name: int}, "gauges": {name: float},
-        "histograms": {name: {"count","sum","mean","min","max"}}}``.
-        All values are plain JSON types; the dict is safe to pickle,
-        merge, or dump.
+        "histograms": {name: {"count","sum","mean","min","max"}},
+        "buckets": {name: {bucket_index: count}}}``.  The summary shape
+        under ``histograms`` is unchanged from the pre-bucket registry;
+        the sparse log-bucket detail rides in the separate ``buckets``
+        section so consumers that only want summaries ignore it.  All
+        values are plain JSON types (JSON stringifies the int bucket
+        keys; :func:`~repro.obs.hist.LatencyHistogram.from_parts`
+        accepts both); the dict is safe to pickle, merge, or dump.
         """
         with self._lock:
-            hists = {
-                name: {"count": h[0], "sum": h[1],
-                       "mean": h[1] / h[0], "min": h[2], "max": h[3]}
-                for name, h in self._hists.items()
-            }
+            hists = {name: h.summary() for name, h in self._hists.items()}
+            buckets = {name: dict(h.buckets)
+                       for name, h in self._hists.items() if h.buckets}
             return {"counters": dict(self._counters),
                     "gauges": dict(self._gauges),
-                    "histograms": hists}
+                    "histograms": hists,
+                    "buckets": buckets}
 
     def merge(self, snapshot: Dict[str, Any]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
         Counters add; gauges last-write-win; histograms combine their
-        (count, sum, min, max) summaries.  Used to aggregate metrics
+        (count, sum, min, max) summaries and add bucket counts (when
+        the snapshot carries a ``buckets`` section — pre-bucket
+        snapshots merge summaries only).  Used to aggregate metrics
         shipped back from process-pool workers.
         """
         with self._lock:
             for name, v in (snapshot.get("counters") or {}).items():
                 self._counters[name] += v
             self._gauges.update(snapshot.get("gauges") or {})
+            all_buckets = snapshot.get("buckets") or {}
             for name, h in (snapshot.get("histograms") or {}).items():
+                other = LatencyHistogram.from_parts(
+                    h, all_buckets.get(name))
                 mine = self._hists.get(name)
                 if mine is None:
-                    self._hists[name] = [h["count"], h["sum"],
-                                         h["min"], h["max"]]
+                    self._hists[name] = other
                 else:
-                    mine[0] += h["count"]
-                    mine[1] += h["sum"]
-                    if h["min"] < mine[2]:
-                        mine[2] = h["min"]
-                    if h["max"] > mine[3]:
-                        mine[3] = h["max"]
+                    mine.merge(other)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         with self._lock:

@@ -1,0 +1,190 @@
+"""Prometheus text exposition for MetricsRegistry snapshots.
+
+:func:`prom_exposition` renders the snapshot dict produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` in the Prometheus
+text format (version 0.0.4) — the format every scrape endpoint speaks:
+
+* counters → ``# TYPE name counter`` + one sample;
+* gauges → ``# TYPE name gauge`` + one sample;
+* histograms → the full ``_bucket{le=...}`` ladder (cumulative counts
+  over the log-spaced buckets recorded by
+  :class:`~repro.obs.hist.LatencyHistogram`) plus ``_sum`` / ``_count``.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots and other punctuation become
+underscores, and a collision after sanitization (``a.b`` vs ``a_b``)
+raises rather than silently merging two series.
+
+:func:`validate_prom` is a lightweight checker for the rendered text —
+it verifies the line grammar, that every sample is preceded by a
+``# TYPE`` for its family, that bucket ladders are cumulative and end
+at ``+Inf`` agreeing with ``_count``.  CI runs it over the serve
+daemon's ``metrics`` wire op and ``repro.obs.report --prom`` output.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.hist import bucket_bounds
+
+__all__ = ["prom_exposition", "validate_prom"]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+
+
+def _sanitize(name: str, seen: Dict[str, str]) -> str:
+    out = _SANITIZE.sub("_", name)
+    if not _NAME_OK.match(out):
+        out = "_" + out
+    clash = seen.get(out)
+    if clash is not None and clash != name:
+        raise ValueError(
+            f"metric names {clash!r} and {name!r} both sanitize to {out!r}")
+    seen[out] = name
+    return out
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prom_exposition(snapshot: Mapping[str, Any],
+                    prefix: str = "repro") -> str:
+    """Render a metrics snapshot in Prometheus text format.
+
+    *snapshot* is the dict from ``MetricsRegistry.snapshot()`` — its
+    ``counters`` / ``gauges`` / ``histograms`` sections plus, when
+    present, the ``buckets`` section holding each histogram's sparse
+    log-bucket counts (keys may be ints, or strings after a JSON round
+    trip).  Histograms without bucket detail still get ``_sum`` /
+    ``_count`` and a single ``+Inf`` bucket.
+    """
+    seen: Dict[str, str] = {}
+    lines: List[str] = []
+
+    def family(name: str) -> str:
+        base = f"{prefix}_{name}" if prefix else name
+        return _sanitize(base, seen)
+
+    for name in sorted(snapshot.get("counters", {})):
+        pname = family(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_fmt(snapshot['counters'][name])}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        pname = family(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(snapshot['gauges'][name])}")
+
+    all_buckets = snapshot.get("buckets", {})
+    for name in sorted(snapshot.get("histograms", {})):
+        stats = snapshot["histograms"][name]
+        pname = family(name)
+        lines.append(f"# TYPE {pname} histogram")
+        sparse = all_buckets.get(name) or {}
+        cum = 0
+        for idx in sorted(int(k) for k in sparse):
+            cum += int(sparse[idx] if idx in sparse else sparse[str(idx)])
+            _lo, hi = bucket_bounds(idx)
+            lines.append(f'{pname}_bucket{{le="{_fmt(hi)}"}} {cum}')
+        lines.append(f'{pname}_bucket{{le="+Inf"}} '
+                     f"{_fmt(stats['count'])}")
+        lines.append(f"{pname}_sum {_fmt(stats['sum'])}")
+        lines.append(f"{pname}_count {_fmt(stats['count'])}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def validate_prom(text: str) -> List[str]:
+    """Check exposition text; returns a list of problem strings.
+
+    Verifies: every non-comment line parses as ``name[{labels}] value``;
+    every sample's family was declared with ``# TYPE``; histogram
+    bucket ladders are cumulative, end with ``le="+Inf"``, and the
+    ``+Inf`` count equals the family's ``_count`` sample.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    ladders: Dict[str, List[float]] = {}  # family -> cumulative counts
+    inf_counts: Dict[str, float] = {}
+    counts: Dict[str, float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    problems.append(
+                        f"line {lineno}: bad TYPE {parts[3]!r}")
+                types[parts[2]] = parts[3]
+            elif len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                pass
+            else:
+                problems.append(f"line {lineno}: malformed comment")
+            continue
+        m = _SAMPLE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                family = name[:-len(suffix)]
+                break
+        if family not in types:
+            problems.append(f"line {lineno}: sample {name!r} has no # TYPE")
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            problems.append(f"line {lineno}: bad value {m.group('value')!r}")
+            continue
+        if name.endswith("_bucket") and types.get(family) == "histogram":
+            labels = m.group("labels") or ""
+            le = None
+            for part in labels.split(","):
+                if part.startswith("le="):
+                    le = part[3:].strip('"')
+            if le is None:
+                problems.append(f"line {lineno}: bucket without le label")
+                continue
+            if le == "+Inf":
+                inf_counts[family] = value
+            ladder = ladders.setdefault(family, [])
+            if ladder and value < ladder[-1]:
+                problems.append(
+                    f"line {lineno}: non-cumulative bucket in {family}")
+            ladder.append(value)
+        elif name.endswith("_count") and types.get(family) == "histogram":
+            counts[family] = value
+
+    for family, typ in types.items():
+        if typ != "histogram":
+            continue
+        if family not in inf_counts:
+            problems.append(f"histogram {family}: missing +Inf bucket")
+        elif family in counts and inf_counts[family] != counts[family]:
+            problems.append(
+                f"histogram {family}: +Inf bucket {inf_counts[family]} "
+                f"!= _count {counts[family]}")
+    return problems

@@ -5,13 +5,17 @@
     python -m repro.obs.report trace.json           # span tree + metrics
     python -m repro.obs.report --check trace.json   # schema validation
     python -m repro.obs.report --metrics trace.json # metrics table only
+    python -m repro.obs.report --prom trace.json    # embedded metrics in
+        # Prometheus text exposition format (validated before printing)
     python -m repro.obs.report --demo trace.json    # trace a small
         # template-matching run and write its Chrome-trace JSON
 
 The input is the Chrome-trace document written by
 :func:`repro.obs.export.write_trace` (open it in ``chrome://tracing``
 or https://ui.perfetto.dev); ``--check`` exits non-zero and lists the
-problems when the document does not conform.
+problems when the document does not conform — including any
+flight-recorder events embedded under ``otherData.events``, which are
+checked against the :data:`~repro.obs.events.EVENT_KINDS` schema.
 """
 
 from __future__ import annotations
@@ -21,8 +25,10 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
+from repro.obs.events import validate_events
 from repro.obs.export import (metrics_table, summary_tree,
                               validate_chrome, write_trace)
+from repro.obs.prom import prom_exposition, validate_prom
 
 
 def _spans_from_chrome(doc: Dict[str, Any]) -> Dict[str, Any]:
@@ -57,10 +63,12 @@ def _run_demo(path: str) -> None:
                        memory_bytes=8 << 20)
     config = MatchConfig(tile_w=8, tile_h=8, threads=32)
     result = run_request(RunRequest(spec, config, trace=True))
-    write_trace(path, result.trace, metrics=result.metrics)
+    write_trace(path, result.trace, metrics=result.metrics,
+                events=result.events)
     launches = len(result.profiles)
     print(f"wrote {path}: {len(result.trace['spans'])} spans, "
           f"{launches} kernel launches profiled, "
+          f"{len(result.events)} flight events, "
           f"{result.seconds * 1e3:.3f} ms simulated")
 
 
@@ -70,10 +78,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Inspect / validate exported Chrome-trace JSON.")
     parser.add_argument("trace", help="path to the trace JSON file")
     parser.add_argument("--check", action="store_true",
-                        help="validate the document schema; exit 1 "
+                        help="validate the document schema (and any "
+                             "embedded flight-recorder events); exit 1 "
                              "with a problem list if invalid")
     parser.add_argument("--metrics", action="store_true",
                         help="print only the embedded metrics table")
+    parser.add_argument("--prom", action="store_true",
+                        help="print the embedded metrics in Prometheus "
+                             "text exposition format (validated; exit "
+                             "1 if the rendering fails its checker)")
     parser.add_argument("--demo", action="store_true",
                         help="run a small traced template-matching "
                              "pipeline and write its trace to TRACE")
@@ -92,6 +105,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if opts.check:
         problems = validate_chrome(doc)
+        embedded = (doc.get("otherData") or {}).get("events")
+        if embedded is not None:
+            problems += [f"otherData.events: {p}"
+                         for p in validate_events(embedded)]
         if problems:
             print(f"{opts.trace}: INVALID "
                   f"({len(problems)} problems)")
@@ -99,10 +116,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  - {problem}")
             return 1
         events = doc.get("traceEvents", [])
-        print(f"{opts.trace}: ok ({len(events)} events)")
+        n_flight = len(embedded) if embedded is not None else 0
+        print(f"{opts.trace}: ok ({len(events)} events, "
+              f"{n_flight} flight events)")
         return 0
 
     metrics = (doc.get("otherData") or {}).get("metrics")
+    if opts.prom:
+        if not metrics:
+            print("(no metrics embedded in this trace)",
+                  file=sys.stderr)
+            return 1
+        text = prom_exposition(metrics)
+        problems = validate_prom(text)
+        if problems:
+            print(f"{opts.trace}: exposition INVALID", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        sys.stdout.write(text)
+        return 0
+
     if not opts.metrics:
         print(summary_tree(_spans_from_chrome(doc)))
     if metrics:

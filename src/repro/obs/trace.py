@@ -31,9 +31,34 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-__all__ = ["Span", "Tracer", "current_tracer"]
+__all__ = ["Span", "TraceContext", "Tracer", "current_tracer"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Cross-process trace propagation token.
+
+    A supervisor stamps one onto each dispatched
+    :class:`~repro.apps.harness.RunRequest` (``request.trace_ctx``);
+    the worker-side :func:`~repro.apps.harness.run_request` sees it,
+    enables tracing, names the worker tracer after ``trace_id``, and
+    ships the span tree back on the result — where the supervisor
+    grafts it under its own span for the request, yielding one
+    end-to-end tree (admission → queue → worker → launch) in a single
+    Chrome/Perfetto export.
+
+    ``trace_id`` identifies the distributed trace (the supervisor's
+    request id works); ``parent`` labels the supervisor-side span the
+    shipped subtree will be grafted under; ``client`` carries the
+    requesting client's name for attribution attrs.
+    """
+
+    trace_id: str
+    parent: str = ""
+    client: str = ""
 
 
 class Span:

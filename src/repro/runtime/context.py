@@ -45,6 +45,7 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Union
 
 from repro.faults.plan import FaultInjector, FaultPlan
+from repro.obs.events import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -125,6 +126,11 @@ class ExecutionContext:
         #: Named counters/gauges/histograms (``subsystem.event`` keys;
         #: always on — see the module docstring).
         self.metrics = MetricsRegistry()
+        #: Bounded flight recorder of structured events (always on,
+        #: like :attr:`metrics` — recording is an O(1) deque append;
+        #: see :mod:`repro.obs.events`).  Traced requests ship their
+        #: event delta back on the RunResult.
+        self.events = FlightRecorder(capacity=256, origin=name)
         #: Structured span recorder; None = tracing off (the
         #: zero-overhead sentinel, like ``injector``).  Hot paths must
         #: only ever do ``if ctx.tracer is not None:``.

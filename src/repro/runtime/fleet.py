@@ -52,6 +52,7 @@ same simulated seconds every sweep table reports.
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
 from concurrent.futures import (BrokenExecutor, Future,
                                 ProcessPoolExecutor, ThreadPoolExecutor)
@@ -59,7 +60,9 @@ from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List,
                     Optional, Sequence)
 
 from repro.gpusim.device import DEVICES
+from repro.obs.events import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceContext, Tracer
 from repro.runtime.context import ExecutionContext
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: harness needs gpusim
@@ -200,7 +203,15 @@ class FleetMember:
                 "in_flight": self.in_flight,
                 "dispatched": self.dispatched,
                 "completed": self.completed, "errors": self.errors,
-                "busy_modeled_s": self.busy_seconds}
+                "busy_modeled_s": self.busy_seconds,
+                # Trace-engine counters from the aggregated result
+                # deltas (warm thread members also accumulate them via
+                # their context's cache counters riding each result).
+                "trace": {
+                    "hits": self.counters.get("trace_hits", 0),
+                    "deopts": self.counters.get("trace_deopts", 0),
+                    "records": self.counters.get("trace_records", 0),
+                }}
 
 
 class DeviceFleet:
@@ -235,6 +246,13 @@ class DeviceFleet:
             for i, device in enumerate(devices)]
         self.metrics = MetricsRegistry()
         self.metrics.gauge("fleet.members", len(self.members))
+        #: Typed event ring: placements, crashes, redispatches (see
+        #: :mod:`repro.obs.events`), surfaced by :meth:`health_report`.
+        self.recorder = FlightRecorder(capacity=128, origin=name)
+        #: Fleet-side tracer; None until :meth:`enable_tracing`.  When
+        #: set, dispatched requests carry a TraceContext and shipped
+        #: span trees graft under ``request:{index}`` wrappers.
+        self.tracer: Optional[Tracer] = None
         self._rr: Dict[str, int] = {}
         self._closed = False
 
@@ -251,6 +269,27 @@ class DeviceFleet:
         self._closed = True
         for member in self.members:
             member.shutdown()
+
+    # -- observability ---------------------------------------------------
+
+    def enable_tracing(self, name: Optional[str] = None) -> Tracer:
+        """Attach the fleet tracer (idempotent): every request
+        dispatched afterwards runs traced, and its shipped span tree
+        is grafted under a ``request:{index}`` span here, so one
+        export shows the whole sharded batch."""
+        if self.tracer is None:
+            self.tracer = Tracer(name or self.name)
+        return self.tracer
+
+    def export_trace(self, path: str) -> str:
+        """Write the fleet trace + metrics + events to *path*."""
+        if self.tracer is None:
+            raise RuntimeError("tracing is not enabled on this fleet")
+        from repro.obs.export import write_trace
+        write_trace(path, self.tracer.to_dict(),
+                    metrics=self.metrics.snapshot(),
+                    events=self.recorder.events())
+        return path
 
     # -- placement -------------------------------------------------------
 
@@ -307,6 +346,12 @@ class DeviceFleet:
             device = request.spec.device
             member = self.place(device, affinity_key=(
                 request.spec.app, request.spec.seed, device))
+            if self.tracer is not None and request.trace_ctx is None:
+                request = dataclasses.replace(
+                    request, trace_ctx=TraceContext(
+                        trace_id=f"req{i}", parent=f"request:{i}"))
+            self.recorder.record("fleet.place", member=member.key,
+                                 policy=self.placement)
             future = self._submit_request(member, request)
             self.metrics.inc("fleet.dispatch")
             pending.append([i, member, request, future, 1])
@@ -334,6 +379,8 @@ class DeviceFleet:
             except (BrokenExecutor, OSError) as exc:
                 member.settle(error=True)
                 self.metrics.inc("fleet.worker_crash")
+                self.recorder.record("fleet.worker_crash",
+                                     member=member.key)
                 member.revive()
                 if attempts > self.max_redispatch:
                     self.metrics.inc("fleet.errors")
@@ -351,6 +398,8 @@ class DeviceFleet:
                 future = self._submit_request(member, request)
                 attempts += 1
                 self.metrics.inc("fleet.redispatch")
+                self.recorder.record("fleet.redispatch",
+                                     member=member.key, request=index)
                 continue
             except Exception as exc:
                 member.settle(error=True)
@@ -362,7 +411,21 @@ class DeviceFleet:
             if isinstance(result, RunResult) and not result.worker:
                 result.worker = member.key
                 result.attempts = attempts
+            if isinstance(result, RunResult):
+                self._graft_result(index, member, result, attempts)
             return result
+
+    def _graft_result(self, index: int, member: FleetMember,
+                      result: "RunResult", attempts: int) -> None:
+        """Fold a traced result into the fleet's telemetry plane."""
+        if result.events:
+            self.recorder.extend(result.events, origin=member.key)
+        if self.tracer is None or not result.trace:
+            return
+        if not result.trace.get("spans"):
+            return
+        self.tracer.graft(result.trace, f"request:{index}", cat="fleet",
+                          member=member.key, attempts=attempts)
 
     # -- grid sharding ---------------------------------------------------
 
@@ -439,6 +502,8 @@ class DeviceFleet:
             except (BrokenExecutor, OSError, RuntimeError) as exc:
                 member.settle(error=True)
                 self.metrics.inc("fleet.worker_crash")
+                self.recorder.record("fleet.worker_crash",
+                                     member=member.key)
                 member.revive()
                 if attempts > self.max_redispatch:
                     self.metrics.inc("fleet.errors")
@@ -510,6 +575,7 @@ class DeviceFleet:
             "busy_modeled_s": self.busy_seconds(),
             "makespan_modeled_s": self.makespan_seconds(),
             "metrics": self.metrics.snapshot(),
+            "flight": self.recorder.dump(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -44,7 +44,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="multiprocessing start method")
     parser.add_argument("--restart-seed", type=int, default=1009,
                         help="seed for the restart backoff schedule")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="enable end-to-end tracing; write the "
+                             "grafted Chrome-trace JSON to PATH on "
+                             "shutdown")
+    parser.add_argument("--flight-recorder", default=None,
+                        metavar="PATH",
+                        help="dump the flight recorder to PATH on "
+                             "shutdown (and on an uncaught crash)")
+    parser.add_argument("--slo", action="append", default=[],
+                        metavar="NAME=SECONDS",
+                        help="SLO threshold for a latency histogram, "
+                             "e.g. client.latency_s=0.5 (repeatable)")
     return parser
+
+
+def _parse_slo(pairs) -> dict:
+    slo = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--slo expects NAME=SECONDS, got {pair!r}")
+        try:
+            slo[name] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"--slo {name}: {value!r} is not a number") from None
+    return slo
 
 
 def main(argv=None) -> int:
@@ -59,8 +85,14 @@ def main(argv=None) -> int:
         breaker_reset=args.breaker_reset,
         restart_backoff=RetryPolicy(max_attempts=8, base_delay=0.05,
                                     max_delay=2.0,
-                                    seed=args.restart_seed))
-    service = SpecializationService(config).start()
+                                    seed=args.restart_seed),
+        slo=_parse_slo(args.slo) or None)
+    service = SpecializationService(config)
+    if args.trace:
+        service.enable_tracing("serve-daemon")
+    if args.flight_recorder:
+        service.recorder.install_crash_dump(args.flight_recorder)
+    service.start()
     server = ServiceServer(service, host=args.host,
                            port=args.port).start()
     host, port = server.address
@@ -82,6 +114,13 @@ def main(argv=None) -> int:
         print("serve: draining", flush=True)
         server.stop()
         service.shutdown(drain=True)
+        if args.trace:
+            service.export_trace(args.trace)
+            print(f"serve: trace written to {args.trace}", flush=True)
+        if args.flight_recorder:
+            service.recorder.dump_json(args.flight_recorder)
+            print(f"serve: flight recorder dumped to "
+                  f"{args.flight_recorder}", flush=True)
         print("serve: stopped", flush=True)
     return 0
 

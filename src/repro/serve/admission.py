@@ -37,6 +37,10 @@ class Entry:
     probe: bool = False        # half-open breaker probe
     degrade: bool = False      # dispatched pre-degraded to RE
     admitted_at: float = field(default_factory=time.monotonic)
+    #: When the (latest) dispatch handed this entry to a worker; 0.0
+    #: until first dispatched.  Lets the supervisor split latency into
+    #: queue-wait vs execution phases per request.
+    dispatched_at: float = 0.0
     #: Resolution hook, called exactly once as ``hook(entry, ok)``
     #: when the future resolves.  The service sets it to its
     #: per-client attribution recorder — completion is the one point

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 CLOSED = "closed"
 OPEN = "open"
@@ -43,12 +43,20 @@ class CircuitBreaker:
 
     def __init__(self, failure_threshold: int = 3,
                  reset_timeout: float = 1.0,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Optional[
+                     Callable[[str, str], None]] = None):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self.clock = clock
+        #: Called as ``hook(old_state, new_state)`` on every state
+        #: change, with the breaker lock held — keep it cheap and
+        #: reentrancy-free (the service wires its flight recorder,
+        #: which only takes its own lock).  Exceptions are swallowed:
+        #: telemetry must never wedge dispatch.
+        self.on_transition = on_transition
         self._lock = threading.Lock()
         self._state = CLOSED
         self._failures = 0        # consecutive compile-faulty requests
@@ -56,6 +64,18 @@ class CircuitBreaker:
         self._probing = False     # a half-open probe is in flight
         self.trips = 0
         self.probes = 0
+
+    def _set_state(self, new_state: str) -> None:
+        """Transition (lock held); fires :attr:`on_transition`."""
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        if self.on_transition is not None:
+            try:
+                self.on_transition(old, new_state)
+            except Exception:
+                pass
 
     # -- dispatch-side ---------------------------------------------------
 
@@ -66,7 +86,7 @@ class CircuitBreaker:
                 return "sk"
             if self._state == OPEN and self.clock() - self._opened_at \
                     >= self.reset_timeout:
-                self._state = HALF_OPEN
+                self._set_state(HALF_OPEN)
                 self._probing = True
                 self.probes += 1
                 return "probe"
@@ -98,18 +118,18 @@ class CircuitBreaker:
             if compile_faults > 0:
                 self._failures += 1
                 if mode == "probe" or self._state == HALF_OPEN:
-                    self._state = OPEN
+                    self._set_state(OPEN)
                     self._opened_at = self.clock()
                     self._probing = False
                 elif self._state == CLOSED \
                         and self._failures >= self.failure_threshold:
-                    self._state = OPEN
+                    self._set_state(OPEN)
                     self._opened_at = self.clock()
                     self.trips += 1
             else:
                 self._failures = 0
                 if mode == "probe":
-                    self._state = CLOSED
+                    self._set_state(CLOSED)
                     self._probing = False
 
     # -- observability ---------------------------------------------------

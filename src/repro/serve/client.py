@@ -85,6 +85,10 @@ class ServiceClient:
     def health(self) -> dict:
         return self._call(("health",))
 
+    def metrics_text(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format."""
+        return self._call(("metrics",))
+
     def ping(self) -> str:
         return self._call(("ping",))
 
@@ -120,6 +124,10 @@ class InProcClient:
 
     def health(self) -> dict:
         return self.service.health()
+
+    def metrics_text(self) -> str:
+        from repro.obs.prom import prom_exposition
+        return prom_exposition(self.service.metrics.snapshot())
 
     def ping(self) -> str:
         return "pong" if self.service.running else "stopped"

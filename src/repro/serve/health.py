@@ -2,9 +2,10 @@
 
 :func:`health_report` assembles the `/health`-style answer the ISSUE
 asks for — worker liveness (pid, busy/idle, heartbeat age, restart
-counts), queue depth and shed counts, circuit-breaker state, and the
-service metrics snapshot — as a plain dict of scalars and strings so
-it pickles over the wire and dumps as JSON unchanged.
+counts), queue depth and shed counts, circuit-breaker state, per-client
+rows with latency quantiles and SLO breach counts, the service metrics
+snapshot, and the flight recorder — as a plain dict of scalars and
+strings so it pickles over the wire and dumps as JSON unchanged.
 
 The report is advisory and read-mostly: it samples supervisor state
 without stopping the dispatch loop, so a field can be a tick stale.
@@ -46,23 +47,46 @@ def _worker_rows(service) -> List[Dict[str, object]]:
     return rows
 
 
-def _client_rows(service) -> Dict[str, Dict[str, int]]:
-    """Aggregate the ``client.<name>.<event>`` counters per client.
+def _client_rows(service) -> Dict[str, Dict[str, object]]:
+    """Per-client rows: outcome counters + latency quantiles + SLO.
 
     The submit/resolution paths attribute every request to the
-    ``client`` tag it carried (``anon`` when untagged); this folds
-    those counters into one row per client —
-    ``{"alice": {"submitted": 3, "ok": 2, "err": 1}}`` — so `/health`
-    answers *who* is loading the service, not just how much.
+    ``client`` tag it carried (``anon`` when untagged); this folds the
+    ``client.<name>.<event>`` counters into one row per client and
+    adds the client latency histogram's p50/p95/p99 estimates
+    (``p50_s`` / ``p95_s`` / ``p99_s``, present once the client has a
+    completed request) plus ``slo_breach`` (observations over the
+    configured client SLO) — so `/health` answers *who* is loading the
+    service, how slow their tail is, and whether the SLO holds.
     """
-    rows: Dict[str, Dict[str, int]] = {}
+    rows: Dict[str, Dict[str, object]] = {}
+    breaches: Dict[str, int] = {}
+    for name, count in service.metrics.counters("slo.breach.client."
+                                                ).items():
+        tail = name[len("slo.breach.client."):]
+        client = tail[:-len(".latency_s")] \
+            if tail.endswith(".latency_s") else tail
+        breaches[client] = count
     for name, count in service.metrics.counters("client.").items():
         tail = name[len("client."):]
         client, _, event = tail.rpartition(".")
         if not client:
             continue
         rows.setdefault(client, {})[event] = count
+    for client, row in rows.items():
+        quantiles = service.metrics.quantiles(
+            f"client.{client}.latency_s")
+        for key, value in quantiles.items():
+            row[f"{key}_s"] = value
+        if client in breaches or service._client_slo is not None:
+            row["slo_breach"] = breaches.get(client, 0)
     return rows
+
+
+def _slo_section(service) -> Dict[str, object]:
+    """Configured thresholds and every breach counter, one place."""
+    return {"thresholds": service.metrics.slos(),
+            "breaches": service.metrics.counters("slo.breach.")}
 
 
 def health_report(service) -> Dict[str, object]:
@@ -76,6 +100,7 @@ def health_report(service) -> Dict[str, object]:
     else:
         status = "ok"
     now = time.monotonic()
+    flight = service.recorder.dump()
     return {
         "status": status,
         "uptime_s": (now - service._started_at
@@ -85,6 +110,17 @@ def health_report(service) -> Dict[str, object]:
         "breaker": service.breaker.stats(),
         "clients": _client_rows(service),
         "metrics": service.metrics.snapshot(),
-        "events": [{"age_s": now - t, "event": msg}
-                   for t, msg in list(service._events)],
+        "slo": _slo_section(service),
+        # Legacy human-readable event log shape, now fed by the typed
+        # flight recorder; the structured form rides in "flight".
+        "events": [{"age_s": now - e["t"],
+                    "event": _event_line(e)}
+                   for e in flight["events"]],
+        "flight": flight,
     }
+
+
+def _event_line(event: Dict[str, object]) -> str:
+    attrs = event.get("attrs") or {}
+    note = " ".join(f"{k}={v}" for k, v in attrs.items())
+    return f"{event.get('kind', '?')} {note}".strip()

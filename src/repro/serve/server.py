@@ -10,6 +10,10 @@ framing and the localhost-only trust model):
   the optional client name feeds per-client attribution, falling
   back to the connection's peer address;
 * ``("health",)`` → ``("ok", health-dict)``;
+* ``("metrics",)`` → ``("ok", prometheus-exposition-text)`` — the
+  service metrics snapshot rendered by
+  :func:`repro.obs.prom.prom_exposition`, ready to proxy to a scrape
+  endpoint;
 * ``("ping",)`` → ``("ok", "pong")``.
 
 Each accepted connection gets its own thread and handles one request
@@ -126,6 +130,10 @@ class ServiceServer:
                 return ("ok", "pong")
             if op == "health":
                 return ("ok", self.service.health())
+            if op == "metrics":
+                from repro.obs.prom import prom_exposition
+                return ("ok",
+                        prom_exposition(self.service.metrics.snapshot()))
             if op == "run":
                 request = msg[1]
                 deadline = msg[2] if len(msg) > 2 else None

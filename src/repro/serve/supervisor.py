@@ -42,16 +42,17 @@ import multiprocessing
 import socket
 import threading
 import time
-from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from repro.apps.harness import RunRequest, RunResult
 from repro.faults.errors import DeadlineExceeded
 from repro.faults.retry import RetryPolicy
+from repro.obs.events import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceContext, Tracer
 from repro.serve.admission import AdmissionController, Entry
 from repro.serve.breaker import COMPILE_SITES, CircuitBreaker
 from repro.serve.errors import (ServiceDeadlineError, ServiceError,
@@ -86,6 +87,15 @@ class ServiceConfig:
     restart_backoff: RetryPolicy = field(
         default_factory=lambda: RetryPolicy(
             max_attempts=8, base_delay=0.05, max_delay=2.0, seed=1009))
+    #: Flight-recorder ring size (newest events kept for forensics).
+    event_capacity: int = 256
+    #: SLO thresholds, histogram name -> seconds: observations above
+    #: the threshold bump ``slo.breach.{name}``.  The special key
+    #: ``"client.latency_s"`` applies to *every* per-client latency
+    #: histogram (``client.{name}.latency_s``), so one number sets the
+    #: whole fleet's client SLO; other keys register verbatim (e.g.
+    #: ``"serve.queue_wait_s": 0.25``).
+    slo: Optional[Mapping[str, float]] = None
 
     def __post_init__(self):
         if self.workers < 1:
@@ -122,12 +132,30 @@ class SpecializationService:
         self.config = config or ServiceConfig()
         cfg = self.config
         self.metrics = MetricsRegistry()
+        #: Bounded ring of typed events (see :mod:`repro.obs.events`):
+        #: worker lifecycle, breaker transitions, sheds, redispatches,
+        #: plus whatever traced workers ship back.  `/health` renders
+        #: it and ``--flight-recorder`` dumps it on crash.
+        self.recorder = FlightRecorder(capacity=cfg.event_capacity,
+                                       origin="supervisor")
+        #: Supervisor-side tracer; None until :meth:`enable_tracing`.
+        #: When set, every dispatched :class:`RunRequest` carries a
+        #: :class:`~repro.obs.trace.TraceContext` and the shipped
+        #: worker span tree is grafted under a ``request:{id}`` span —
+        #: one export shows admission → queue → worker → launch.
+        self.tracer: Optional[Tracer] = None
         self.admission = AdmissionController(
-            cfg.queue_capacity,
-            on_shed=lambda e: self.metrics.inc("serve.shed"))
+            cfg.queue_capacity, on_shed=self._on_shed)
         self.breaker = CircuitBreaker(
             failure_threshold=cfg.breaker_threshold,
-            reset_timeout=cfg.breaker_reset)
+            reset_timeout=cfg.breaker_reset,
+            on_transition=self._on_breaker_transition)
+        self._client_slo: Optional[float] = None
+        for name, threshold in dict(cfg.slo or {}).items():
+            if name == "client.latency_s":
+                self._client_slo = float(threshold)
+            else:
+                self.metrics.set_slo(name, threshold)
         self._mp = multiprocessing.get_context(cfg.start_method)
         self._ids = itertools.count(1)
         self._handles: List[Optional[WorkerHandle]] = \
@@ -137,7 +165,6 @@ class SpecializationService:
         self._generation: List[int] = [0] * cfg.workers
         self._restart_delays = cfg.restart_backoff.schedule() \
             or [cfg.restart_backoff.base_delay]
-        self._events: Deque[Tuple[float, str]] = deque(maxlen=64)
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
         self._thread: Optional[threading.Thread] = None
@@ -219,6 +246,40 @@ class SpecializationService:
         self._wake()
         return entry.future
 
+    def _on_shed(self, entry: Entry) -> None:
+        self.metrics.inc("serve.shed")
+        self.recorder.record("admission.shed",
+                             client=entry.client or "anon",
+                             why="queue_full")
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self.recorder.record("breaker.transition",
+                             from_state=old, to_state=new)
+
+    def enable_tracing(self, name: str = "serve") -> Tracer:
+        """Attach the supervisor tracer (idempotent).
+
+        From then on every dispatched :class:`RunRequest` is traced
+        end-to-end: the worker ships its span tree back and
+        :meth:`_on_result` grafts it — under synthetic ``queue`` /
+        ``worker:{id}`` phase spans — below a ``request:{id}`` span in
+        this tracer.
+        """
+        if self.tracer is None:
+            self.tracer = Tracer(name)
+        return self.tracer
+
+    def export_trace(self, path: str) -> str:
+        """Write the supervisor trace (plus metrics + flight events)
+        as Chrome-trace JSON to *path*; returns the path."""
+        if self.tracer is None:
+            raise RuntimeError("tracing is not enabled on this service")
+        from repro.obs.export import write_trace
+        write_trace(path, self.tracer.to_dict(),
+                    metrics=self.metrics.snapshot(),
+                    events=self.recorder.events())
+        return path
+
     def _attribute(self, entry: Entry, ok: bool) -> None:
         """Per-client outcome accounting (Entry resolution hook).
 
@@ -247,9 +308,6 @@ class SpecializationService:
         except OSError:
             pass
 
-    def _log(self, msg: str) -> None:
-        self._events.append((time.monotonic(), msg))
-
     def _spawn(self, slot: int) -> None:
         parent, child = self._mp.Pipe(duplex=True)
         self._generation[slot] += 1
@@ -263,7 +321,8 @@ class SpecializationService:
         child.close()  # parent keeps one end only, so EOF means death
         self._handles[slot] = WorkerHandle(slot, gen, proc, parent)
         self.metrics.inc("serve.worker.spawn")
-        self._log(f"spawned {worker_id} pid={proc.pid}")
+        self.recorder.record("worker.spawn", worker=worker_id,
+                             pid=proc.pid)
 
     def _kill_worker(self, handle: WorkerHandle) -> None:
         try:
@@ -296,7 +355,7 @@ class SpecializationService:
                 min(streak - 1, len(self._restart_delays) - 1)]
             self._restart_at[slot] = now + delay
             self.metrics.inc("serve.worker.crash")
-        self._log(f"{handle.id} died ({reason})")
+        self.recorder.record("worker.exit", worker=handle.id, why=reason)
         if entry is None or entry.done:
             return
         if entry.probe:
@@ -315,6 +374,8 @@ class SpecializationService:
         else:
             self.admission.requeue_front(entry)
             self.metrics.inc("serve.redispatch")
+            self.recorder.record("redispatch", request=entry.id,
+                                 attempts=entry.attempts)
 
     def _dispatch(self, handle: WorkerHandle, entry: Entry) -> None:
         entry.attempts += 1
@@ -326,8 +387,15 @@ class SpecializationService:
             if entry.degrade and not request.degrade:
                 request = dataclasses.replace(request, degrade=True)
                 self.metrics.inc("serve.degraded_dispatch")
+            if self.tracer is not None and request.trace_ctx is None:
+                request = dataclasses.replace(
+                    request, trace_ctx=TraceContext(
+                        trace_id=f"req{entry.id}",
+                        parent=f"request:{entry.id}",
+                        client=entry.client))
         handle.busy = entry
         handle.dispatched_at = time.monotonic()
+        entry.dispatched_at = handle.dispatched_at
         self.metrics.observe("serve.queue_wait_s",
                              handle.dispatched_at - entry.admitted_at)
         try:
@@ -371,10 +439,12 @@ class SpecializationService:
                 self.breaker.record(
                     compile_faults,
                     self._breaker_mode(entry, payload.degraded))
+                self._telemetry(handle, entry, payload, now)
             if entry.complete(result=payload):
                 self.metrics.inc("serve.ok")
                 self.metrics.observe("serve.latency_s",
                                      now - entry.admitted_at)
+                self._observe_latency(entry, payload, now)
         else:
             exc = payload
             site = getattr(exc, "site", "")
@@ -385,6 +455,89 @@ class SpecializationService:
                 self.breaker.abort_probe()
             if entry.complete(error=self._map_worker_error(exc)):
                 self.metrics.inc("serve.err")
+
+    def _observe_latency(self, entry: Entry, payload, now: float) -> None:
+        """Per-client / per-device / per-phase latency histograms."""
+        latency = now - entry.admitted_at
+        client = entry.client or "anon"
+        name = f"client.{client}.latency_s"
+        if self._client_slo is not None:
+            # Idempotent registration: the config's one client SLO
+            # applies to every client histogram as it appears.
+            self.metrics.set_slo(name, self._client_slo)
+        self.metrics.observe(name, latency)
+        device = getattr(getattr(entry.request, "spec", None),
+                         "device", None)
+        if device:
+            self.metrics.observe(f"serve.device.{device}.latency_s",
+                                 latency)
+        if entry.dispatched_at:
+            exec_s = getattr(payload, "wall_seconds", 0.0) \
+                or max(0.0, now - entry.dispatched_at)
+            self.metrics.observe("serve.exec_s", exec_s)
+
+    def _telemetry(self, handle: WorkerHandle, entry: Entry,
+                   payload: RunResult, now: float) -> None:
+        """Fold a traced worker result into the supervisor's plane.
+
+        Ships three things back from the worker: flight events (into
+        :attr:`recorder`, re-originated to the worker id), per-phase
+        compile/launch time (summed from the shipped span tree's
+        categories into ``serve.phase.*`` histograms), and — when
+        supervisor tracing is on — the span tree itself, grafted under
+        a ``request:{id}`` span with synthetic ``queue`` and
+        ``worker:{id}`` phase spans so the export reads
+        admission → queue → worker → launch end-to-end.
+        """
+        if payload.events:
+            self.recorder.extend(payload.events, origin=handle.id)
+        trace = payload.trace
+        if not trace:
+            return
+        spans = trace.get("spans") or []
+        if spans:
+            self.metrics.observe(
+                "serve.phase.compile_s",
+                sum(s["dur"] for s in spans if s["cat"] == "compile"))
+            self.metrics.observe(
+                "serve.phase.launch_s",
+                sum(s["dur"] for s in spans if s["cat"] == "launch"))
+        if self.tracer is None or not spans:
+            return
+        queue_wait = max(0.0, entry.dispatched_at - entry.admitted_at)
+        exec_wall = getattr(payload, "wall_seconds", 0.0) \
+            or max(0.0, now - entry.dispatched_at)
+        base = min(s["start"] for s in spans)
+        extent = max(s["start"] + s["dur"] for s in spans) - base
+        # The worker span must contain the shipped subtree even when
+        # the two clocks disagree slightly.
+        exec_dur = max(exec_wall, extent)
+        # Synthetic phase spans: the graft wrapper itself becomes the
+        # request:{id} span, so the export's roots are the two phases.
+        synthetic = [
+            {"sid": 1, "parent": None, "name": "queue", "cat": "serve",
+             "start": 0.0, "dur": queue_wait, "tid": 0,
+             "attrs": {"client": entry.client or "anon"}},
+            {"sid": 2, "parent": None, "name": f"worker:{handle.id}",
+             "cat": "serve", "start": queue_wait, "dur": exec_dur,
+             "tid": 0, "attrs": {"worker": handle.id,
+                                 "attempts": entry.attempts}},
+        ]
+        shift = (queue_wait + exec_dur - extent) - base
+        for s in spans:
+            synthetic.append({
+                "sid": s["sid"] + 2,
+                "parent": s["parent"] + 2 if s["parent"] is not None
+                else 2,
+                "name": s["name"], "cat": s["cat"],
+                "start": s["start"] + shift, "dur": s["dur"],
+                "tid": s["tid"], "attrs": s["attrs"]})
+        self.tracer.graft(
+            {"name": trace.get("name", f"req{entry.id}"),
+             "spans": synthetic},
+            f"request:{entry.id}", cat="serve",
+            client=entry.client or "anon", worker=handle.id,
+            attempts=entry.attempts)
 
     def _check_worker(self, handle: WorkerHandle, now: float) -> None:
         """Deadline backstop + hang detection for one live worker."""
@@ -401,11 +554,15 @@ class SpecializationService:
             handle.deadline_kill = True
             self.metrics.inc("serve.deadline_kill")
             self.metrics.inc("serve.err")
+            self.recorder.record("deadline.kill", request=entry.id,
+                                 worker=handle.id)
             self._kill_worker(handle)
             self._worker_died(handle.slot, "deadline backstop")
             return
         if now - handle.last_beat > self.config.hang_timeout:
             self.metrics.inc("serve.hang_kill")
+            self.recorder.record("worker.kill", worker=handle.id,
+                                 why="heartbeat stale")
             self._kill_worker(handle)
             self._worker_died(handle.slot, "heartbeat stale")
 
@@ -539,4 +696,4 @@ class SpecializationService:
                 pass
         self._handles = [None] * self.config.workers
         self._stopped.set()
-        self._log("service stopped")
+        self.recorder.record("note", text="service stopped")

@@ -936,10 +936,57 @@ class TestServiceTCP:
                                        SleepRequest(0.02)])
             assert [r.seconds for r in results] == [0.01, 0.02]
 
+    def test_metrics_op_speaks_prometheus(self, tcp_service):
+        from repro.obs.prom import validate_prom
+        host, port = tcp_service.address
+        with ServiceClient(host=host, port=port) as client:
+            client.run(piv_request(), client="gus")
+            text = client.metrics_text()
+        assert validate_prom(text) == []
+        assert "# TYPE repro_serve_ok counter" in text
+        assert "# TYPE repro_client_gus_latency_s histogram" in text
+
+    def test_worker_spans_graft_across_the_wire(self, tcp_service):
+        # Cross-process span propagation over TCP: the request carries
+        # a TraceContext to the worker process, the worker ships its
+        # span tree back, and the daemon-side tracer shows it grafted
+        # under the request span.
+        service = tcp_service.service
+        tracer = service.enable_tracing("serve-tcp")
+        host, port = tcp_service.address
+        with ServiceClient(host=host, port=port,
+                           client="heidi") as client:
+            client.run(piv_request())
+        request_spans = [s for s in tracer.spans
+                         if s.parent is None
+                         and s.name.startswith("request:")]
+        assert len(request_spans) == 1
+        wrapper = request_spans[0]
+        assert wrapper.attrs["client"] == "heidi"
+        assert wrapper.attrs["worker"].startswith("w")
+        phases = {s.name for s in tracer.spans
+                  if s.parent == wrapper.sid}
+        assert "queue" in phases
+        worker_span = next(s for s in tracer.spans
+                           if s.parent == wrapper.sid
+                           and s.name.startswith("worker:"))
+        shipped = [s for s in tracer.spans
+                   if s.parent == worker_span.sid]
+        assert shipped  # the worker process's span tree arrived
+        from repro.obs.export import chrome_trace, validate_chrome
+        assert validate_chrome(chrome_trace(tracer.to_dict())) == []
+
 
 # ---------------------------------------------------------------------
 # Per-client attribution and device-affinity dispatch.
 # ---------------------------------------------------------------------
+
+def _counts(row):
+    """Outcome counters only — client rows also carry p50_s/p95_s/p99_s
+    latency quantiles (and slo_breach when an SLO is set)."""
+    return {k: v for k, v in row.items()
+            if not k.endswith("_s") and k != "slo_breach"}
+
 
 class TestClientAttribution:
     def test_health_reports_per_client_counts(self):
@@ -949,10 +996,15 @@ class TestClientAttribution:
             svc.run(tm_request(), client="bob")
             svc.run(piv_request())  # untagged -> "anon"
             health = svc.health()
-        assert health["clients"]["alice"] \
-            == {"submitted": 2, "ok": 2}
-        assert health["clients"]["bob"] == {"submitted": 1, "ok": 1}
-        assert health["clients"]["anon"] == {"submitted": 1, "ok": 1}
+        alice = health["clients"]["alice"]
+        assert _counts(alice) == {"submitted": 2, "ok": 2}
+        # completed requests come with latency quantile estimates
+        assert alice["p50_s"] > 0.0
+        assert alice["p50_s"] <= alice["p95_s"] <= alice["p99_s"]
+        assert _counts(health["clients"]["bob"]) \
+            == {"submitted": 1, "ok": 1}
+        assert _counts(health["clients"]["anon"]) \
+            == {"submitted": 1, "ok": 1}
 
     def test_rejected_submission_attributed(self):
         with SpecializationService(fast_config(workers=1)) as svc:
@@ -981,13 +1033,15 @@ class TestClientAttribution:
         with ServiceClient(host=host, port=port) as anon:
             anon.run(piv_request())
             health = anon.health()
-        assert health["clients"]["erin"] == {"submitted": 1, "ok": 1}
-        assert health["clients"]["frank"] == {"submitted": 1, "ok": 1}
+        assert _counts(health["clients"]["erin"]) \
+            == {"submitted": 1, "ok": 1}
+        assert _counts(health["clients"]["frank"]) \
+            == {"submitted": 1, "ok": 1}
         # unnamed TCP callers attribute to their peer address
         addr_rows = [name for name in health["clients"]
                      if name.startswith("127.0.0.1:")]
         assert len(addr_rows) == 1
-        assert health["clients"][addr_rows[0]] \
+        assert _counts(health["clients"][addr_rows[0]]) \
             == {"submitted": 1, "ok": 1}
 
 
